@@ -1,0 +1,135 @@
+package summarycache
+
+// This file is the public face of the library: the types and constructors
+// a downstream user needs, aliased from the internal packages so the
+// import graph stays one line — import "summarycache" — while the
+// implementation keeps its per-subsystem layout.
+
+import (
+	"summarycache/internal/bloom"
+	"summarycache/internal/core"
+	"summarycache/internal/hashing"
+	"summarycache/internal/httpproxy"
+	"summarycache/internal/icp"
+	"summarycache/internal/lru"
+)
+
+// --- the summary-cache protocol (internal/core) ---
+
+// Directory maintains a proxy's own cache summary: a counting Bloom filter
+// plus the journal of unpublished bit flips.
+type Directory = core.Directory
+
+// DirectoryConfig sizes a Directory.
+type DirectoryConfig = core.DirectoryConfig
+
+// PeerTable holds replicas of neighbors' summaries.
+type PeerTable = core.PeerTable
+
+// Node is a summary-cache enhanced ICP endpoint.
+type Node = core.Node
+
+// NodeConfig configures a Node.
+type NodeConfig = core.NodeConfig
+
+// NodeStats counts a Node's protocol activity.
+type NodeStats = core.NodeStats
+
+// HealthConfig parameterizes Node.StartHealthChecks.
+type HealthConfig = core.HealthConfig
+
+// Recommendation is the paper's §V-E recommended configuration.
+type Recommendation = core.Recommendation
+
+// NewDirectory builds a directory summary.
+func NewDirectory(cfg DirectoryConfig) (*Directory, error) { return core.NewDirectory(cfg) }
+
+// NewPeerTable creates an empty peer-summary table.
+func NewPeerTable() *PeerTable { return core.NewPeerTable() }
+
+// NewNode opens a summary-cache ICP endpoint.
+func NewNode(cfg NodeConfig) (*Node, error) { return core.NewNode(cfg) }
+
+// Recommend derives the paper's recommended configuration for a cache.
+func Recommend(cacheBytes, avgDocBytes int64, requestsPerSecond, missRatio float64) (Recommendation, error) {
+	return core.Recommend(cacheBytes, avgDocBytes, requestsPerSecond, missRatio)
+}
+
+// --- Bloom filters (internal/bloom) ---
+
+// Filter is a plain Bloom filter (a peer-summary replica).
+type Filter = bloom.Filter
+
+// CountingFilter is the paper's counting Bloom filter.
+type CountingFilter = bloom.CountingFilter
+
+// Flip is one absolute set/clear bit record.
+type Flip = bloom.Flip
+
+// HashSpec describes a Bloom hash family (MD5 bit groups).
+type HashSpec = hashing.Spec
+
+// DefaultHashSpec is the paper's 4 × 32-bit MD5 configuration.
+var DefaultHashSpec = hashing.DefaultSpec
+
+// NewFilter creates a plain Bloom filter.
+func NewFilter(bits uint64, spec HashSpec) (*Filter, error) { return bloom.NewFilter(bits, spec) }
+
+// NewCountingFilter creates a counting Bloom filter.
+func NewCountingFilter(bits uint64, counterBits uint, spec HashSpec) (*CountingFilter, error) {
+	return bloom.NewCountingFilter(bits, counterBits, spec)
+}
+
+// FalsePositiveRate returns the analytic false-positive probability for a
+// filter of m bits holding n keys with k hash functions.
+func FalsePositiveRate(m, n uint64, k int) float64 { return bloom.FalsePositiveRate(m, n, k) }
+
+// OptimalK returns the false-positive-minimizing number of hash functions.
+func OptimalK(m, n uint64) int { return bloom.OptimalK(m, n) }
+
+// --- the cache and the proxy (internal/lru, internal/httpproxy) ---
+
+// Cache is the byte-budget LRU document cache.
+type Cache = lru.Cache
+
+// CacheConfig customizes a Cache.
+type CacheConfig = lru.Config
+
+// CacheEntry is one cached document.
+type CacheEntry = lru.Entry
+
+// NewCache creates a document cache.
+func NewCache(capacity int64, cfg CacheConfig) (*Cache, error) { return lru.New(capacity, cfg) }
+
+// Proxy is a caching HTTP forward proxy with cooperative peering.
+type Proxy = httpproxy.Proxy
+
+// ProxyConfig configures a Proxy.
+type ProxyConfig = httpproxy.Config
+
+// ProxyMode selects the cooperation protocol.
+type ProxyMode = httpproxy.Mode
+
+// The cooperation modes.
+const (
+	ProxyModeNone  = httpproxy.ModeNone
+	ProxyModeICP   = httpproxy.ModeICP
+	ProxyModeSCICP = httpproxy.ModeSCICP
+)
+
+// StartProxy launches a caching proxy.
+func StartProxy(cfg ProxyConfig) (*Proxy, error) { return httpproxy.Start(cfg) }
+
+// --- the wire protocol (internal/icp) ---
+
+// ICPMessage is one ICP datagram.
+type ICPMessage = icp.Message
+
+// ICPOpcode is an ICP operation code.
+type ICPOpcode = icp.Opcode
+
+// DirUpdate is the decoded ICP_OP_DIRUPDATE payload.
+type DirUpdate = icp.DirUpdate
+
+// ParseICP decodes one ICP datagram.
+func ParseICP(b []byte) (ICPMessage, error) { return icp.Parse(b) }

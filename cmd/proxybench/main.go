@@ -1,0 +1,129 @@
+// Command proxybench runs the paper's networked prototype experiments on
+// loopback: the Table II synthetic benchmark (no-ICP vs ICP vs SC-ICP with
+// no inter-proxy hits) and the Table IV/V trace replays (client-bound and
+// round-robin).
+//
+// Usage:
+//
+//	proxybench -experiment=table2|table4|table5|all [-latency=20ms] [-clients=30] [-requests=200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"summarycache/internal/bench"
+	"summarycache/internal/httpproxy"
+	"summarycache/internal/tracegen"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "experiment: all, table2, table4, table5")
+	latency    = flag.Duration("latency", 20*time.Millisecond, "origin latency (paper: 1s)")
+	clients    = flag.Int("clients", 30, "clients per proxy (paper: 30)")
+	requests   = flag.Int("requests", 200, "requests per client (paper: 200)")
+	replayN    = flag.Int("replay", 12000, "trace requests to replay for tables 4/5 (paper: 24000)")
+	traceScale = flag.Float64("trace-scale", 0.25, "UPisa trace scale for replays")
+)
+
+var modes = []httpproxy.Mode{httpproxy.ModeNone, httpproxy.ModeICP, httpproxy.ModeSCICP}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "proxybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	want := func(n string) bool { return *experiment == "all" || *experiment == n }
+	if want("table2") {
+		for _, hr := range []float64{0.25, 0.45} {
+			if err := table2(hr); err != nil {
+				return err
+			}
+		}
+	}
+	if want("table4") {
+		if err := replay(bench.ClientBound, "Table IV (experiment 3: client-bound replay)"); err != nil {
+			return err
+		}
+	}
+	if want("table5") {
+		if err := replay(bench.RoundRobin, "Table V (experiment 4: round-robin replay)"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func render(title string, results []bench.Result) {
+	fmt.Printf("== %s ==\n", title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\thit ratio\tremote hits\tlatency (mean)\tlatency (p90)\tuser CPU\tsys CPU\tUDP msgs\tHTTP msgs\torigin reqs\tload CV")
+	for _, r := range results {
+		fmt.Fprintf(w, "%v\t%.1f%%\t%.1f%%\t%v\t%v\t%v\t%v\t%d\t%d\t%d\t%.3f\n",
+			r.Mode, 100*r.HitRatio, 100*r.RemoteHitRatio,
+			r.MeanLatency.Round(time.Millisecond), r.P90Latency.Round(time.Millisecond),
+			r.CPU.User.Round(10*time.Millisecond), r.CPU.System.Round(10*time.Millisecond),
+			r.UDPSent+r.UDPReceived, r.HTTPMessages, r.OriginRequests, r.LoadCV)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func table2(hitRatio float64) error {
+	fmt.Fprintf(os.Stderr, "running Table II at inherent hit ratio %.0f%%...\n", 100*hitRatio)
+	var results []bench.Result
+	for _, m := range modes {
+		r, err := bench.RunSynthetic(bench.SyntheticConfig{
+			Mode:              m,
+			Proxies:           4,
+			ClientsPerProxy:   *clients,
+			RequestsPerClient: *requests,
+			InherentHitRatio:  hitRatio,
+			Disjoint:          true, // the paper's worst case: no remote hits
+			OriginLatency:     *latency,
+			Seed:              42, // "we use the same seeds ... to ensure comparable results"
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	render(fmt.Sprintf("Table II: ICP overhead, 4 proxies, inherent hit ratio %.0f%%, no inter-proxy hits", 100*hitRatio), results)
+	return nil
+}
+
+func replay(a bench.Assignment, title string) error {
+	fmt.Fprintf(os.Stderr, "generating UPisa trace for %v replay...\n", a)
+	reqs, _, err := tracegen.GeneratePreset(tracegen.UPisa, *traceScale)
+	if err != nil {
+		return err
+	}
+	if len(reqs) > *replayN {
+		reqs = reqs[:*replayN]
+	}
+	var results []bench.Result
+	for _, m := range modes {
+		fmt.Fprintf(os.Stderr, "replaying %d requests under %v...\n", len(reqs), m)
+		r, err := bench.RunReplay(bench.ReplayConfig{
+			Mode:          m,
+			Proxies:       4,
+			Workers:       80,
+			Assignment:    a,
+			Trace:         reqs,
+			OriginLatency: *latency,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	render(title, results)
+	return nil
+}

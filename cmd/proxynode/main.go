@@ -1,0 +1,129 @@
+// Command proxynode runs one cooperating caching proxy — the deployable
+// unit of the summary-cache system. Point browsers (or the repository's
+// benchmark clients) at its HTTP port; peer it with sibling proxynodes via
+// -peer flags (repeatable, "udpAddr,httpURL").
+//
+// Example 3-node mesh on one machine:
+//
+//	proxynode -http=127.0.0.1:3128 -icp=127.0.0.1:3130 -mode=scicp \
+//	    -peer=127.0.0.1:3131,http://127.0.0.1:3129 &
+//	proxynode -http=127.0.0.1:3129 -icp=127.0.0.1:3131 -mode=scicp \
+//	    -peer=127.0.0.1:3130,http://127.0.0.1:3128 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"summarycache/internal/core"
+	"summarycache/internal/httpproxy"
+)
+
+type peerList []string
+
+func (p *peerList) String() string     { return strings.Join(*p, ";") }
+func (p *peerList) Set(v string) error { *p = append(*p, v); return nil }
+
+var (
+	httpAddr  = flag.String("http", "127.0.0.1:3128", "HTTP listen address")
+	icpAddr   = flag.String("icp", "127.0.0.1:3130", "ICP (UDP) listen address")
+	mode      = flag.String("mode", "scicp", "cooperation mode: none, icp, scicp")
+	cacheMB   = flag.Int64("cache-mb", 256, "cache capacity in MB")
+	threshold = flag.Float64("threshold", 0.01, "summary update threshold (scicp)")
+	loadf     = flag.Float64("load-factor", 16, "Bloom filter bits per expected document (scicp)")
+	statsSec  = flag.Duration("stats-interval", 30*time.Second, "stats logging interval (0: off)")
+	parentURL = flag.String("parent", "", "parent proxy HTTP base URL (hierarchical mode)")
+	peers     peerList
+)
+
+func main() {
+	flag.Var(&peers, "peer", "sibling proxy as udpAddr,httpURL (repeatable)")
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "proxynode:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (httpproxy.Mode, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return httpproxy.ModeNone, nil
+	case "icp":
+		return httpproxy.ModeICP, nil
+	case "scicp", "sc-icp":
+		return httpproxy.ModeSCICP, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func run() error {
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	cacheBytes := *cacheMB << 20
+	p, err := httpproxy.Start(httpproxy.Config{
+		ListenAddr: *httpAddr,
+		ICPAddr:    *icpAddr,
+		Mode:       m,
+		CacheBytes: cacheBytes,
+		Summary: core.DirectoryConfig{
+			ExpectedDocs:    uint64(cacheBytes / 8192),
+			LoadFactor:      *loadf,
+			UpdateThreshold: *threshold,
+		},
+		ParentURL: *parentURL,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Printf("proxynode: %v proxy on %s", m, p.URL())
+	if m != httpproxy.ModeNone {
+		fmt.Printf(", ICP on %v", p.ICPAddr())
+	}
+	fmt.Println()
+
+	for _, spec := range peers {
+		parts := strings.SplitN(spec, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -peer %q: want udpAddr,httpURL", spec)
+		}
+		ua, err := net.ResolveUDPAddr("udp", parts[0])
+		if err != nil {
+			return fmt.Errorf("bad peer UDP address %q: %w", parts[0], err)
+		}
+		if err := p.AddPeer(ua, parts[1]); err != nil {
+			return err
+		}
+		fmt.Printf("proxynode: peered with %s (%s)\n", parts[0], parts[1])
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *statsSec > 0 {
+		t := time.NewTicker(*statsSec)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("proxynode: shutting down")
+			return nil
+		case <-tick:
+			st := p.Stats()
+			fmt.Printf("proxynode: reqs=%d localHits=%d remoteHits=%d misses=%d udp=%d/%d cached=%d docs\n",
+				st.ClientRequests, st.LocalHits, st.RemoteHits, st.Misses,
+				st.UDP.Sent, st.UDP.Received, p.CacheLen())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module summarycache
+
+go 1.22

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CPUSample is a snapshot of this process's accumulated CPU time, the
+// analog of the user/system CPU columns the paper reads from OS process
+// accounting for the Squid process. Because the benchmark runs proxies,
+// clients and origin in one process, mode-to-mode *differences* isolate
+// protocol overhead (the client and origin work is identical across
+// modes).
+type CPUSample struct {
+	User   time.Duration
+	System time.Duration
+	Valid  bool // false when /proc is unavailable (non-Linux)
+}
+
+// linuxClockTick is the kernel USER_HZ exposed to userspace; it has been
+// fixed at 100 on every mainstream Linux ABI.
+const linuxClockTick = 100
+
+// ReadCPU samples the process CPU counters from /proc/self/stat (fields 14
+// and 15: utime, stime in clock ticks).
+func ReadCPU() CPUSample {
+	b, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return CPUSample{}
+	}
+	return parseProcStat(string(b))
+}
+
+// parseProcStat extracts utime/stime from a /proc/<pid>/stat line. The
+// comm field (2nd) is parenthesized and may itself contain spaces and
+// parentheses, so parsing starts after the LAST closing parenthesis.
+func parseProcStat(s string) CPUSample {
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 || i+2 > len(s) {
+		return CPUSample{}
+	}
+	fields := strings.Fields(s[i+2:])
+	// fields[0] is field 3 (state); utime is field 14 → index 11.
+	if len(fields) < 13 {
+		return CPUSample{}
+	}
+	utime, err1 := strconv.ParseUint(fields[11], 10, 64)
+	stime, err2 := strconv.ParseUint(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return CPUSample{}
+	}
+	return CPUSample{
+		User:   time.Duration(utime) * time.Second / linuxClockTick,
+		System: time.Duration(stime) * time.Second / linuxClockTick,
+		Valid:  true,
+	}
+}
+
+// Sub returns the CPU consumed between two samples.
+func (c CPUSample) Sub(start CPUSample) CPUSample {
+	return CPUSample{
+		User:   c.User - start.User,
+		System: c.System - start.System,
+		Valid:  c.Valid && start.Valid,
+	}
+}

@@ -1,0 +1,275 @@
+// Package bloom implements the Bloom filter machinery of Fan et al.,
+// "Summary Cache" (SIGCOMM '98): plain bit-vector filters used to hold
+// peers' cache summaries, counting Bloom filters (the paper's contribution
+// popularizing them) used to maintain the local summary under insertions and
+// deletions, bit-flip journaling for the delta-based directory-update wire
+// protocol, and the analytic results of §V-C (false-positive probability,
+// optimal number of hash functions, counter-overflow bounds).
+//
+// Figure 3 of the paper illustrates the structure implemented here: a
+// vector of m bits and k independent hash functions; inserting a key sets
+// the k addressed bits, and a membership probe conjectures presence iff all
+// k bits are set.
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"summarycache/internal/hashing"
+)
+
+// Flip records one bit transition in a filter: the paper's directory-update
+// messages are streams of exactly these (a 32-bit word whose most
+// significant bit says set-vs-clear and whose remaining 31 bits index the
+// bit array).
+type Flip struct {
+	Index uint32 // bit position, < 2^31 per the wire format
+	Set   bool   // true: 0→1, false: 1→0
+}
+
+// MaxBits is the largest supported filter size. The paper's wire format
+// indexes bits with 31-bit integers ("the design limits the hash table size
+// to be less than 2 billion, which for the time being is large enough").
+const MaxBits = uint64(1) << 31
+
+var (
+	// ErrBadSize reports an unusable bit-array size.
+	ErrBadSize = errors.New("bloom: filter size must be in [1, 2^31] bits")
+	// ErrIndexRange reports a bit index outside the filter.
+	ErrIndexRange = errors.New("bloom: bit index out of range")
+	// ErrSpecMismatch reports an attempt to combine filters built with
+	// different hash specifications or sizes.
+	ErrSpecMismatch = errors.New("bloom: filter geometry mismatch")
+)
+
+// Filter is a plain Bloom filter over string keys. It is what a proxy keeps
+// per neighbor: a bit array plus the hash-function specification announced
+// in the neighbor's update messages. Filter is safe for concurrent use.
+type Filter struct {
+	mu      sync.RWMutex
+	m       uint64 // number of bits
+	words   []uint64
+	ones    uint64 // population count, maintained incrementally
+	family  *hashing.Family
+	scratch sync.Pool // *[]uint64 probe buffers
+}
+
+// NewFilter creates a filter of mBits bits probed by the given hash spec.
+func NewFilter(mBits uint64, spec hashing.Spec) (*Filter, error) {
+	if mBits == 0 || mBits > MaxBits {
+		return nil, ErrBadSize
+	}
+	fam, err := hashing.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{
+		m:      mBits,
+		words:  make([]uint64, (mBits+63)/64),
+		family: fam,
+	}
+	k := spec.FunctionNum
+	f.scratch.New = func() any { b := make([]uint64, k); return &b }
+	return f, nil
+}
+
+// MustNewFilter is NewFilter, panicking on error.
+func MustNewFilter(mBits uint64, spec hashing.Spec) *Filter {
+	f, err := NewFilter(mBits, spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Size returns the filter's size in bits.
+func (f *Filter) Size() uint64 { return f.m }
+
+// Spec returns the hash-function specification.
+func (f *Filter) Spec() hashing.Spec { return f.family.Spec() }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.family.Spec().FunctionNum }
+
+// Add inserts key (sets its k bits). Plain filters cannot support deletion;
+// use CountingFilter for mutable directories.
+func (f *Filter) Add(key string) {
+	bufp := f.scratch.Get().(*[]uint64)
+	defer f.scratch.Put(bufp)
+	n, _ := f.family.IndexesInto(*bufp, key, f.m)
+	f.mu.Lock()
+	for _, i := range (*bufp)[:n] {
+		f.setLocked(i)
+	}
+	f.mu.Unlock()
+}
+
+// Test reports whether key may be in the set. False positives occur with
+// the probability given by FalsePositiveRate; false negatives never occur
+// for keys that were added and not cleared.
+func (f *Filter) Test(key string) bool {
+	bufp := f.scratch.Get().(*[]uint64)
+	defer f.scratch.Put(bufp)
+	n, _ := f.family.IndexesInto(*bufp, key, f.m)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, i := range (*bufp)[:n] {
+		if f.words[i>>6]&(1<<(i&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexes probes the filter with precomputed indices (from the same
+// hashing.Family and modulus). Callers probing many peer filters for one
+// URL hash once and reuse the indices across filters.
+func (f *Filter) TestIndexes(idx []uint64) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, i := range idx {
+		if i >= f.m || f.words[i>>6]&(1<<(i&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Filter) setLocked(i uint64) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	if f.words[w]&b != 0 {
+		return false
+	}
+	f.words[w] |= b
+	f.ones++
+	return true
+}
+
+func (f *Filter) clearLocked(i uint64) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	if f.words[w]&b == 0 {
+		return false
+	}
+	f.words[w] &^= b
+	f.ones--
+	return true
+}
+
+// SetBit sets bit i, reporting whether it changed. Used when applying a
+// neighbor's directory-update stream.
+func (f *Filter) SetBit(i uint64) (changed bool, err error) {
+	if i >= f.m {
+		return false, ErrIndexRange
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.setLocked(i), nil
+}
+
+// ClearBit clears bit i, reporting whether it changed.
+func (f *Filter) ClearBit(i uint64) (changed bool, err error) {
+	if i >= f.m {
+		return false, ErrIndexRange
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.clearLocked(i), nil
+}
+
+// Apply applies a batch of flips (a decoded directory-update message).
+// Flips are absolute ("set this bit to 0/1"), so replaying or losing a
+// message never corrupts the filter beyond the bits that message carried —
+// the paper's rationale for not sending relative toggles.
+func (f *Filter) Apply(flips []Flip) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fl := range flips {
+		i := uint64(fl.Index)
+		if i >= f.m {
+			return fmt.Errorf("%w: %d >= %d", ErrIndexRange, i, f.m)
+		}
+		if fl.Set {
+			f.setLocked(i)
+		} else {
+			f.clearLocked(i)
+		}
+	}
+	return nil
+}
+
+// OnesCount returns the number of set bits.
+func (f *Filter) OnesCount() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ones
+}
+
+// FillRatio returns the fraction of set bits, the quantity that determines
+// the instantaneous false-positive probability (fill^k).
+func (f *Filter) FillRatio() float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return float64(f.ones) / float64(f.m)
+}
+
+// Reset clears every bit.
+func (f *Filter) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.ones = 0
+}
+
+// Snapshot returns the bit array as bytes (little-endian words, trailing
+// bits zero). This is what a proxy ships when sending the whole array is
+// cheaper than sending deltas (the Squid "cache digest" variant).
+func (f *Filter) Snapshot() []byte {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]byte, len(f.words)*8)
+	for i, w := range f.words {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return out[:(f.m+7)/8]
+}
+
+// LoadSnapshot replaces the filter contents with a snapshot produced by a
+// filter of identical geometry.
+func (f *Filter) LoadSnapshot(b []byte) error {
+	if uint64(len(b)) != (f.m+7)/8 {
+		return fmt.Errorf("%w: snapshot %d bytes, want %d", ErrSpecMismatch, len(b), (f.m+7)/8)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var ones uint64
+	for i := range f.words {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			idx := i*8 + j
+			if idx < len(b) {
+				w |= uint64(b[idx]) << (8 * j)
+			}
+		}
+		f.words[i] = w
+		ones += uint64(bits.OnesCount64(w))
+	}
+	f.ones = ones
+	return nil
+}
+
+// Clone returns a deep copy.
+func (f *Filter) Clone() *Filter {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	g := MustNewFilter(f.m, f.family.Spec())
+	copy(g.words, f.words)
+	g.ones = f.ones
+	return g
+}

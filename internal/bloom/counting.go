@@ -1,0 +1,252 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"summarycache/internal/hashing"
+)
+
+// DefaultCounterBits is the counter width the paper recommends: "it seems
+// that 4 bits per count would be amply sufficient" (§V-C).
+const DefaultCounterBits = 4
+
+// ErrBadCounterBits reports an unsupported counter width.
+var ErrBadCounterBits = errors.New("bloom: counter width must be in [1,16] bits")
+
+// CountingFilter is the paper's counting Bloom filter: alongside each bit
+// of the array it keeps a small saturating counter of how many inserted
+// keys hash to that position, so keys can be deleted. When a counter rises
+// from 0 the bit turns on; when it falls to 0 the bit turns off; those
+// transitions are the Flips that feed the directory-update protocol.
+//
+// Counters saturate at their maximum value and never decrement once
+// saturated ("if the count ever exceeds 15, we can simply let it stay at
+// 15"), trading a vanishing false-negative probability — bounded by
+// CounterOverflowProbability — for fixed memory. CountingFilter is safe for
+// concurrent use.
+type CountingFilter struct {
+	mu          sync.Mutex
+	m           uint64
+	cbits       uint   // counter width in bits
+	cmax        uint64 // saturation value (2^cbits - 1)
+	counters    []uint64
+	perWord     uint // counters packed per 64-bit word
+	ones        uint64
+	n           uint64 // net insertions (adds - removes), for load accounting
+	family      *hashing.Family
+	scratch     []uint64
+	saturations uint64 // counters that ever hit cmax
+}
+
+// NewCountingFilter creates a counting filter of mBits positions with
+// counterBits-wide saturating counters.
+func NewCountingFilter(mBits uint64, counterBits uint, spec hashing.Spec) (*CountingFilter, error) {
+	if mBits == 0 || mBits > MaxBits {
+		return nil, ErrBadSize
+	}
+	if counterBits < 1 || counterBits > 16 {
+		return nil, ErrBadCounterBits
+	}
+	fam, err := hashing.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	perWord := uint(64 / counterBits)
+	words := (mBits + uint64(perWord) - 1) / uint64(perWord)
+	return &CountingFilter{
+		m:        mBits,
+		cbits:    counterBits,
+		cmax:     (uint64(1) << counterBits) - 1,
+		counters: make([]uint64, words),
+		perWord:  perWord,
+		family:   fam,
+		scratch:  make([]uint64, spec.FunctionNum),
+	}, nil
+}
+
+// MustNewCountingFilter is NewCountingFilter, panicking on error.
+func MustNewCountingFilter(mBits uint64, counterBits uint, spec hashing.Spec) *CountingFilter {
+	c, err := NewCountingFilter(mBits, counterBits, spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the number of counter positions (== filter bits).
+func (c *CountingFilter) Size() uint64 { return c.m }
+
+// CounterBits returns the configured counter width.
+func (c *CountingFilter) CounterBits() uint { return c.cbits }
+
+// Spec returns the hash-function specification.
+func (c *CountingFilter) Spec() hashing.Spec { return c.family.Spec() }
+
+// MemoryBytes returns the bytes consumed by the counter array — the "plus
+// another 8 MB to represent its own counters" term in the paper's §V-F
+// extrapolation.
+func (c *CountingFilter) MemoryBytes() uint64 { return uint64(len(c.counters)) * 8 }
+
+func (c *CountingFilter) get(i uint64) uint64 {
+	w := i / uint64(c.perWord)
+	sh := (i % uint64(c.perWord)) * uint64(c.cbits)
+	return (c.counters[w] >> sh) & c.cmax
+}
+
+func (c *CountingFilter) set(i, v uint64) {
+	w := i / uint64(c.perWord)
+	sh := (i % uint64(c.perWord)) * uint64(c.cbits)
+	c.counters[w] = c.counters[w]&^(c.cmax<<sh) | v<<sh
+}
+
+// Add inserts key, incrementing its k counters. Bit transitions 0→1 are
+// appended to flips, which is returned (append semantics; pass nil to
+// discard-later or a reused buffer to avoid allocation).
+func (c *CountingFilter) Add(key string, flips []Flip) []Flip {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, _ := c.family.IndexesInto(c.scratch, key, c.m)
+	for _, i := range c.scratch[:n] {
+		v := c.get(i)
+		switch {
+		case v == c.cmax:
+			c.saturations++ // stuck; stays at cmax
+		case v == 0:
+			c.set(i, 1)
+			c.ones++
+			flips = append(flips, Flip{Index: uint32(i), Set: true})
+		default:
+			c.set(i, v+1)
+		}
+	}
+	c.n++
+	return flips
+}
+
+// Remove deletes key, decrementing its k counters. Bit transitions 1→0 are
+// appended to flips. Removing a key that was never added corrupts the
+// filter, exactly as with any counting Bloom filter; callers (the cache)
+// guarantee delete-after-insert discipline.
+func (c *CountingFilter) Remove(key string, flips []Flip) []Flip {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, _ := c.family.IndexesInto(c.scratch, key, c.m)
+	for _, i := range c.scratch[:n] {
+		v := c.get(i)
+		switch {
+		case v == c.cmax:
+			// Saturated counters are never decremented; see type docs.
+		case v == 1:
+			c.set(i, 0)
+			c.ones--
+			flips = append(flips, Flip{Index: uint32(i), Set: false})
+		case v > 1:
+			c.set(i, v-1)
+		default:
+			// v == 0: underflow attempt; leave at zero.
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
+	return flips
+}
+
+// Test reports whether key may be in the set (all k counters nonzero).
+func (c *CountingFilter) Test(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, _ := c.family.IndexesInto(c.scratch, key, c.m)
+	for _, i := range c.scratch[:n] {
+		if c.get(i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the counter value at position i (for tests and diagnostics).
+func (c *CountingFilter) Count(i uint64) (uint64, error) {
+	if i >= c.m {
+		return 0, ErrIndexRange
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get(i), nil
+}
+
+// Entries returns the net number of keys currently represented.
+func (c *CountingFilter) Entries() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// OnesCount returns the number of nonzero positions (set bits in the
+// derived bit filter).
+func (c *CountingFilter) OnesCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ones
+}
+
+// FillRatio returns the fraction of nonzero positions.
+func (c *CountingFilter) FillRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.ones) / float64(c.m)
+}
+
+// Saturations returns how many increment attempts found an already-saturated
+// counter — a direct observable for the §V-C overflow analysis.
+func (c *CountingFilter) Saturations() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saturations
+}
+
+// BitFilter materializes the derived plain filter (bit i set iff counter i
+// nonzero). This is the array a proxy ships to a new neighbor before delta
+// updates begin.
+func (c *CountingFilter) BitFilter() *Filter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := MustNewFilter(c.m, c.family.Spec())
+	for i := uint64(0); i < c.m; i++ {
+		if c.get(i) != 0 {
+			f.setLocked(i)
+		}
+	}
+	return f
+}
+
+// Reset zeroes all counters.
+func (c *CountingFilter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+	c.ones, c.n, c.saturations = 0, 0, 0
+}
+
+// MaxCount returns the largest counter value currently stored. Exposed so
+// tests can check the §V-C expected-maximum-count analysis empirically.
+func (c *CountingFilter) MaxCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max uint64
+	for i := uint64(0); i < c.m; i++ {
+		if v := c.get(i); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func (c *CountingFilter) String() string {
+	return fmt.Sprintf("counting-bloom{m=%d k=%d cbits=%d entries=%d fill=%.4f}",
+		c.m, c.family.Spec().FunctionNum, c.cbits, c.Entries(), c.FillRatio())
+}

@@ -1,0 +1,155 @@
+package bloom
+
+import (
+	"math"
+)
+
+// This file implements the analysis of §V-C of the paper ("Bloom Filters —
+// The Math") and the quantities plotted in Figure 4.
+
+// FalsePositiveRate returns the probability that a membership probe for a
+// key not in the set answers "present", after inserting n keys into a
+// filter of m bits with k hash functions:
+//
+//	p = (1 - (1 - 1/m)^(k n))^k
+//
+// computed in log space for numerical stability.
+func FalsePositiveRate(m, n uint64, k int) float64 {
+	if m == 0 || k <= 0 {
+		return 1
+	}
+	if n == 0 {
+		return 0
+	}
+	// (1 - 1/m)^(kn) = exp(kn * log(1 - 1/m)); use Log1p for precision.
+	zero := math.Exp(float64(k) * float64(n) * math.Log1p(-1/float64(m)))
+	return math.Pow(1-zero, float64(k))
+}
+
+// FalsePositiveRateApprox returns the standard approximation
+// p ≈ (1 - e^{-kn/m})^k used throughout the paper's discussion.
+func FalsePositiveRateApprox(m, n uint64, k int) float64 {
+	if m == 0 || k <= 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(m)), float64(k))
+}
+
+// OptimalK returns the integer number of hash functions minimizing the
+// false-positive rate for a filter of m bits holding n keys. The real-valued
+// optimum is ln2 · m/n; the paper notes k "must be an integer and in
+// practice we might chose a value less than optimal to reduce computational
+// overhead". Both floor and ceiling of the real optimum are evaluated and
+// the better one returned (minimum 1).
+func OptimalK(m, n uint64) int {
+	if n == 0 {
+		return 1
+	}
+	real := math.Ln2 * float64(m) / float64(n)
+	lo := int(math.Floor(real))
+	hi := int(math.Ceil(real))
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	if FalsePositiveRate(m, n, lo) <= FalsePositiveRate(m, n, hi) {
+		return lo
+	}
+	return hi
+}
+
+// MinFalsePositiveRate returns the false-positive probability at the
+// optimal k, which the paper bounds as (0.6185)^(m/n) — the straight line
+// of Figure 4's lower curve.
+func MinFalsePositiveRate(m, n uint64) float64 {
+	return FalsePositiveRate(m, n, OptimalK(m, n))
+}
+
+// PowerBound returns the paper's closed-form bound (0.6185)^(m/n) on the
+// minimal false-positive probability.
+func PowerBound(loadFactor float64) float64 {
+	return math.Pow(0.6185, loadFactor)
+}
+
+// ExpectedMaxCount returns the asymptotic expected maximum counter value
+// after inserting n keys with k hash functions into m counters, per the
+// paper's citation of Knuth: Γ⁻¹-style growth ln(m)/ln(ln(m)) scaled by the
+// load; we expose the simpler engineering observable instead: the expected
+// number of counters with value ≥ j,
+//
+//	E[#counters ≥ j] ≤ m · C(nk, j) (1/m)^j ≤ m · (e n k / (j m))^j
+//
+// CounterOverflowProbability specializes it to Pr[any counter ≥ j].
+func ExpectedMaxCount(m, n uint64, k int) float64 {
+	// Find the smallest j where the expectation drops below 1; that is the
+	// typical maximum.
+	for j := 1; j < 64; j++ {
+		if expectedCountersAtLeast(m, n, k, j) < 1 {
+			return float64(j - 1)
+		}
+	}
+	return 64
+}
+
+func expectedCountersAtLeast(m, n uint64, k int, j int) float64 {
+	// m * (e*n*k/(j*m))^j, in log space.
+	x := float64(j) * (1 + math.Log(float64(n)*float64(k)) - math.Log(float64(j)*float64(m)))
+	return math.Exp(math.Log(float64(m)) + x)
+}
+
+// CounterOverflowProbability bounds Pr[max counter ≥ j] after inserting n
+// keys with k functions into m counters:
+//
+//	Pr ≤ m · (e n k / (j m))^j
+//
+// With j = 16, k = 4 or 5, and the paper's load factors this is on the
+// order of 1e-11 or smaller — "minuscule" — justifying 4-bit counters.
+func CounterOverflowProbability(m, n uint64, k int, j int) float64 {
+	p := expectedCountersAtLeast(m, n, k, j)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// PaperExampleRates returns the example table from §V-C giving the
+// false-positive probability at selected (load factor, k) points; used by
+// tests and the filtermath example to check our math against the paper's
+// published constants.
+//
+//	m/n = 8,  k = 4 → 0.024 ;  m/n = 8,  k = 6(opt) → 0.0216
+//	m/n = 16, k = 4 → 0.0024;  m/n = 16, k = 11(opt) → 0.000459
+//	m/n = 10, k = 4 → 0.0117 (the "1.2%" of §V-C)
+//	m/n = 10, k = 5 → 0.00943 (the "0.9%" optimum case)
+func PaperExampleRates() map[string]float64 {
+	const n = 1 << 20
+	return map[string]float64{
+		"lf8_k4":   FalsePositiveRateApprox(8*n, n, 4),
+		"lf16_k4":  FalsePositiveRateApprox(16*n, n, 4),
+		"lf10_k4":  FalsePositiveRateApprox(10*n, n, 4),
+		"lf10_k5":  FalsePositiveRateApprox(10*n, n, 5),
+		"lf32_k4":  FalsePositiveRateApprox(32*n, n, 4),
+		"lf16_opt": MinFalsePositiveRate(16*n, n),
+	}
+}
+
+// SizeForLoadFactor returns the bit-array size for an expected number of
+// entries at a given load factor (bits per entry), rounded up to a multiple
+// of 64 and clamped to [64, MaxBits]. The paper's configurations use load
+// factors 8, 16, and 32 with the entry count estimated as cacheBytes/8KB.
+func SizeForLoadFactor(expectedEntries uint64, loadFactor float64) uint64 {
+	if expectedEntries == 0 {
+		expectedEntries = 1
+	}
+	bits := uint64(math.Ceil(float64(expectedEntries) * loadFactor))
+	if bits < 64 {
+		bits = 64
+	}
+	bits = (bits + 63) &^ 63
+	if bits > MaxBits {
+		bits = MaxBits
+	}
+	return bits
+}

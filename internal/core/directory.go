@@ -1,0 +1,178 @@
+// Package core implements the summary-cache protocol of Fan, Cao, Almeida
+// and Broder (SIGCOMM '98) as a reusable library: each proxy maintains a
+// counting-Bloom-filter summary of its own cache directory (Directory),
+// holds plain-filter replicas of every peer's summary (PeerTable), and
+// binds the two to the ICP transport as the summary-cache enhanced ICP
+// node (Node). On a local miss the node probes the peer summaries and
+// queries only the proxies whose summaries show promise — the mechanism
+// that cuts inter-proxy messages by the paper's factor of 25–60 versus
+// query-everyone ICP.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"summarycache/internal/bloom"
+	"summarycache/internal/hashing"
+)
+
+// DirectoryConfig sizes a local directory summary.
+type DirectoryConfig struct {
+	// ExpectedDocs is the anticipated number of cached documents
+	// (cache bytes / average document size; the paper uses 8 KB).
+	ExpectedDocs uint64
+	// LoadFactor is bits per expected document (paper recommends 8–16;
+	// default 16).
+	LoadFactor float64
+	// HashSpec is the Bloom hash family (default: 4 × 32-bit MD5 groups).
+	HashSpec hashing.Spec
+	// CounterBits is the counting-filter width (default 4, per §V-C).
+	CounterBits uint
+	// UpdateThreshold delays publication until this fraction of the
+	// directory is new (paper recommends 0.01–0.10; default 0.01).
+	UpdateThreshold float64
+}
+
+func (c *DirectoryConfig) applyDefaults() {
+	if c.LoadFactor <= 0 {
+		c.LoadFactor = 16
+	}
+	if c.HashSpec == (hashing.Spec{}) {
+		c.HashSpec = hashing.DefaultSpec
+	}
+	if c.CounterBits == 0 {
+		c.CounterBits = 4
+	}
+	if c.UpdateThreshold == 0 {
+		c.UpdateThreshold = 0.01
+	}
+}
+
+// Directory is a proxy's summary of its own cache: the authoritative
+// counting filter, plus the journal of bit flips not yet published to
+// peers. It is safe for concurrent use.
+type Directory struct {
+	mu        sync.Mutex
+	counting  *bloom.CountingFilter
+	journal   []bloom.Flip
+	spec      hashing.Spec
+	bits      uint64
+	threshold float64
+	docs      int // current directory size in documents
+	newDocs   int // documents added since the last Drain
+}
+
+// NewDirectory builds a directory summary.
+func NewDirectory(cfg DirectoryConfig) (*Directory, error) {
+	cfg.applyDefaults()
+	if cfg.UpdateThreshold < 0 || cfg.UpdateThreshold > 1 {
+		return nil, fmt.Errorf("core: UpdateThreshold must be in [0,1], got %v", cfg.UpdateThreshold)
+	}
+	bits := bloom.SizeForLoadFactor(cfg.ExpectedDocs, cfg.LoadFactor)
+	cf, err := bloom.NewCountingFilter(bits, cfg.CounterBits, cfg.HashSpec)
+	if err != nil {
+		return nil, err
+	}
+	return &Directory{
+		counting:  cf,
+		spec:      cfg.HashSpec,
+		bits:      bits,
+		threshold: cfg.UpdateThreshold,
+	}, nil
+}
+
+// Spec returns the hash family specification carried in update headers.
+func (d *Directory) Spec() hashing.Spec { return d.spec }
+
+// Bits returns the bit-array size carried in update headers.
+func (d *Directory) Bits() uint64 { return d.bits }
+
+// Docs returns the number of documents currently summarized.
+func (d *Directory) Docs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.docs
+}
+
+// Insert records a document entering the cache.
+func (d *Directory) Insert(url string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journal = d.counting.Add(url, d.journal)
+	d.docs++
+	d.newDocs++
+}
+
+// Remove records a document leaving the cache.
+func (d *Directory) Remove(url string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journal = d.counting.Remove(url, d.journal)
+	if d.docs > 0 {
+		d.docs--
+	}
+}
+
+// Contains probes the live local summary (used to answer peer queries
+// cheaply is NOT its purpose — queries consult the real cache; this exists
+// for diagnostics and tests).
+func (d *Directory) Contains(url string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counting.Test(url)
+}
+
+// ShouldPublish reports whether enough of the directory is new that peers
+// should be updated ("the update can occur ... when a certain percentage of
+// the cached documents are not reflected in the summary").
+func (d *Directory) ShouldPublish() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.newDocs == 0 && len(d.journal) == 0 {
+		return false
+	}
+	if d.docs == 0 {
+		return len(d.journal) > 0
+	}
+	return float64(d.newDocs) >= d.threshold*float64(d.docs)
+}
+
+// PendingFlips returns the number of unpublished bit flips.
+func (d *Directory) PendingFlips() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.journal)
+}
+
+// Drain removes and returns the unpublished flip journal, resetting the
+// new-document counter. The caller ships the flips to peers (or discards
+// them for a peer that will receive a full snapshot instead).
+func (d *Directory) Drain() []bloom.Flip {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.journal
+	d.journal = nil
+	d.newDocs = 0
+	return out
+}
+
+// SnapshotFlips returns the full current state as set-bit flips — what a
+// newly joined or recovered peer needs after resetting its replica
+// ("reinitializes a failed neighbor's bit array when it recovers"). The
+// journal is unaffected.
+func (d *Directory) SnapshotFlips() []bloom.Flip {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.counting.BitFilter()
+	var flips []bloom.Flip
+	snap := f.Snapshot()
+	for byteIdx, b := range snap {
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<bit) != 0 {
+				flips = append(flips, bloom.Flip{Index: uint32(byteIdx*8 + bit), Set: true})
+			}
+		}
+	}
+	return flips
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"summarycache/internal/core"
+	"summarycache/internal/icp"
+)
+
+// The directory → wire → replica pipeline, without sockets.
+func ExampleDirectory() {
+	dir, _ := core.NewDirectory(core.DirectoryConfig{
+		ExpectedDocs: 1000, LoadFactor: 16, UpdateThreshold: 0.01,
+	})
+	dir.Insert("http://example.com/a")
+	dir.Insert("http://example.com/b")
+	dir.Remove("http://example.com/a")
+
+	peers := core.NewPeerTable()
+	update := &icp.DirUpdate{Spec: dir.Spec(), Bits: uint32(dir.Bits()), Flips: dir.Drain()}
+	if err := peers.ApplyUpdate("neighbor-1", update, false); err != nil {
+		panic(err)
+	}
+	fmt.Println(peers.Candidates("http://example.com/a"))
+	fmt.Println(peers.Candidates("http://example.com/b"))
+	// Output:
+	// []
+	// [neighbor-1]
+}
+
+// The paper's §V-E sizing rules for a given proxy.
+func ExampleRecommend() {
+	rec, _ := core.Recommend(8<<30, 8192, 0, 0) // the paper's 8 GB example
+	fmt.Printf("expected docs: %d\n", rec.ExpectedDocs)
+	fmt.Printf("summary per peer: %d MB\n", rec.SummaryBytesPerPeer>>20)
+	fmt.Printf("counters: %d MB\n", rec.CounterBytes>>20)
+	fmt.Printf("hash functions: %d\n", rec.Directory.HashSpec.FunctionNum)
+	// Output:
+	// expected docs: 1048576
+	// summary per peer: 2 MB
+	// counters: 8 MB
+	// hash functions: 4
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"summarycache/internal/icp"
+)
+
+// multicastAvailable probes whether multicast loopback actually works in
+// this environment (containers and stripped-down network namespaces often
+// lack it); tests skip rather than fail when it does not.
+func multicastAvailable(t *testing.T, group string) bool {
+	t.Helper()
+	got := make(chan struct{}, 1)
+	mg, err := icp.JoinMulticast(group, nil, func(*net.UDPAddr, icp.Message) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	})
+	if err != nil {
+		t.Logf("multicast join failed: %v", err)
+		return false
+	}
+	defer mg.Close()
+	sender, err := icp.Listen("0.0.0.0:0", nil)
+	if err != nil {
+		return false
+	}
+	sender.Start()
+	defer sender.Close()
+	for i := 0; i < 5; i++ {
+		if err := sender.Send(mg.Group(), icp.NewReply(icp.OpMiss, 1, "probe")); err != nil {
+			t.Logf("multicast send failed: %v", err)
+			return false
+		}
+		select {
+		case <-got:
+			return true
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return false
+}
+
+func TestJoinMulticastValidation(t *testing.T) {
+	if _, err := icp.JoinMulticast("127.0.0.1:9999", nil, nil); err == nil {
+		t.Error("accepted unicast address as group")
+	}
+	if _, err := icp.JoinMulticast("not-an-addr", nil, nil); err == nil {
+		t.Error("accepted garbage address")
+	}
+}
+
+// A multicast mesh: each update goes out once, yet every peer's replica
+// converges — the paper's suggested optimization for update distribution.
+func TestMulticastUpdateDistribution(t *testing.T) {
+	const group = "239.255.77.78:48273"
+	if !multicastAvailable(t, group) {
+		t.Skip("multicast loopback unavailable in this environment")
+	}
+	const n = 3
+	docs := make([]map[string]bool, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		docs[i] = map[string]bool{}
+		node, err := NewNode(NodeConfig{
+			ListenAddr:        "0.0.0.0:0",
+			Directory:         DirectoryConfig{ExpectedDocs: 500},
+			HasDocument:       func(u string) bool { return docs[i][u] },
+			MinFlipsToPublish: 1,
+			MulticastGroup:    group,
+			QueryTimeout:      2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+	}
+	// Peers must still be registered for query routing (addresses), but
+	// updates flow over the group.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nodes[i].mu.Lock()
+				nodes[i].peerAddrs[nodes[j].Addr().String()] = nodes[j].Addr()
+				nodes[i].mu.Unlock()
+			}
+		}
+	}
+
+	const url = "http://multicast/doc"
+	docs[0][url] = true
+	nodes[0].HandleInsert(url)
+	nodes[0].PublishNow()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := 0
+		for i := 1; i < n; i++ {
+			if len(nodes[i].PeerSummaries().Candidates(url)) > 0 {
+				ready++
+			}
+		}
+		if ready == n-1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 1; i < n; i++ {
+		if len(nodes[i].PeerSummaries().Candidates(url)) == 0 {
+			t.Fatalf("node %d never received the multicast update", i)
+		}
+	}
+
+	// One update event → exactly one datagram sent (not N−1).
+	if got := nodes[0].Stats().UpdatesSent; got != 1 {
+		t.Fatalf("sender emitted %d update datagrams, want 1 (multicast)", got)
+	}
+
+	// The full lookup path still works over unicast queries.
+	hit, _, err := nodes[1].Lookup(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit == nil || hit.Port != nodes[0].Addr().Port {
+		t.Fatalf("lookup after multicast replication: hit=%v, want port %d",
+			hit, nodes[0].Addr().Port)
+	}
+
+	// Senders must ignore their own loopbacked updates.
+	if nodes[0].PeerSummaries().Len() != 0 {
+		t.Fatal("sender absorbed its own multicast update as a peer")
+	}
+}
+
+// Even without functioning multicast delivery, configuring a group must
+// not break construction/teardown.
+func TestMulticastConfigLifecycle(t *testing.T) {
+	node, err := NewNode(NodeConfig{
+		ListenAddr:     "127.0.0.1:0",
+		Directory:      DirectoryConfig{ExpectedDocs: 10},
+		HasDocument:    func(string) bool { return false },
+		MulticastGroup: "239.255.77.79:48274",
+	})
+	if err != nil {
+		t.Skipf("multicast join unavailable: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		node.HandleInsert(fmt.Sprintf("http://x/%d", i))
+	}
+	node.PublishNow()
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"summarycache/internal/icp"
+)
+
+// DefaultQueryTimeout bounds how long a node waits for ICP replies before
+// treating unanswered queries as misses (Squid behaves the same way).
+const DefaultQueryTimeout = 500 * time.Millisecond
+
+// DefaultMaxFlipsPerUpdate keeps update datagrams near one Ethernet MTU
+// (the prototype "sends updates whenever there are enough changes to fill
+// an IP packet": 360 flips ≈ 32 + 1440 bytes).
+const DefaultMaxFlipsPerUpdate = 360
+
+// NodeConfig configures a summary-cache ICP node.
+type NodeConfig struct {
+	// ListenAddr is the UDP address to bind ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// Directory sizes the local summary.
+	Directory DirectoryConfig
+	// HasDocument answers peers' ICP queries against the real cache. It
+	// must be fast and non-blocking; it runs on the receive goroutine.
+	HasDocument func(url string) bool
+	// MaxFlipsPerUpdate bounds each DIRUPDATE datagram (default ~MTU).
+	MaxFlipsPerUpdate int
+	// MinFlipsToPublish delays threshold-triggered publication until at
+	// least this many bit flips are pending, mirroring the paper's
+	// prototype which "sends updates whenever there are enough changes to
+	// fill an IP packet". Default: MaxFlipsPerUpdate (one full packet).
+	// Set to 1 to publish on every threshold trip regardless of batch
+	// size. PublishNow always bypasses this.
+	MinFlipsToPublish int
+	// PublishInterval, when positive, additionally publishes pending
+	// deltas on a timer — the paper's alternative to the threshold rule
+	// ("the update can occur upon regular time intervals"). The paper
+	// estimates the thresholds translate to "an update frequency of
+	// roughly every five minutes to an hour" on its traces.
+	PublishInterval time.Duration
+	// QueryTimeout bounds Lookup's wait for ICP replies.
+	QueryTimeout time.Duration
+	// MulticastGroup, when set (e.g. "239.255.77.77:4827"), joins the
+	// group and sends each directory update once to it instead of
+	// unicasting to every peer — the paper's suggested transport
+	// ("update messages can be transferred via a nonreliable multicast
+	// scheme"; loss is safe because flips are absolute). Queries and
+	// replies stay unicast. All cooperating nodes must join the same
+	// group.
+	MulticastGroup string
+	// MulticastInterface optionally pins the interface for the group
+	// (nil: system default).
+	MulticastInterface *net.Interface
+	// TCPUpdateAddr, when set (e.g. "127.0.0.1:0"), accepts directory
+	// updates over persistent TCP connections — the paper's preferred
+	// transport for large updates ("the proxies can just maintain a
+	// permanent TCP connection with each other to exchange update
+	// messages"). Peers added with AddPeerTCP receive this node's updates
+	// over TCP; queries and replies stay on UDP.
+	TCPUpdateAddr string
+}
+
+// NodeStats counts a node's protocol activity.
+type NodeStats struct {
+	QueriesSent     uint64 // ICP queries issued by Lookup
+	QueriesReceived uint64 // peer queries answered
+	RemoteHits      uint64 // Lookups resolved by a peer HIT
+	FalseHits       uint64 // Lookups whose candidates all replied MISS
+	UpdatesSent     uint64 // DIRUPDATE datagrams sent
+	UpdatesReceived uint64 // DIRUPDATE datagrams applied
+	UpdateEvents    uint64 // threshold-triggered publications
+	UDP             icp.Stats
+}
+
+// Node is a summary-cache enhanced ICP endpoint: it answers peer queries
+// from the local cache, maintains the local Directory and publishes its
+// deltas when the update threshold trips, replicates peer summaries from
+// incoming DIRUPDATEs, and resolves local misses by querying only the
+// peers whose summaries show promise.
+type Node struct {
+	cfg   NodeConfig
+	conn  *icp.Conn
+	dir   *Directory
+	peers *PeerTable
+
+	mu        sync.RWMutex
+	peerAddrs map[string]*net.UDPAddr
+	publishMu sync.Mutex // serializes threshold publications
+
+	queriesSent, queriesRecv atomic.Uint64
+	remoteHits, falseHits    atomic.Uint64
+	updatesSent, updatesRecv atomic.Uint64
+	updateEvents             atomic.Uint64
+
+	stopTimer chan struct{}       // closes on Close when PublishInterval is set
+	mcast     *icp.MulticastGroup // nil unless MulticastGroup configured
+	groupAddr *net.UDPAddr
+
+	localIPsOnce sync.Once
+	localIPs     []net.IP
+
+	tcpSrv   *icp.TCPServer
+	tcpMu    sync.Mutex
+	tcpPeers map[string]*icp.TCPClient // peer UDP addr -> update channel
+}
+
+// NewNode opens the UDP endpoint and starts serving.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.HasDocument == nil {
+		return nil, fmt.Errorf("core: NodeConfig.HasDocument is required")
+	}
+	if cfg.MaxFlipsPerUpdate <= 0 {
+		cfg.MaxFlipsPerUpdate = DefaultMaxFlipsPerUpdate
+	}
+	if cfg.MinFlipsToPublish <= 0 {
+		cfg.MinFlipsToPublish = cfg.MaxFlipsPerUpdate
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = DefaultQueryTimeout
+	}
+	dir, err := NewDirectory(cfg.Directory)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:       cfg,
+		dir:       dir,
+		peers:     NewPeerTable(),
+		peerAddrs: make(map[string]*net.UDPAddr),
+		tcpPeers:  make(map[string]*icp.TCPClient),
+	}
+	conn, err := icp.Listen(cfg.ListenAddr, n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.conn = conn
+	if cfg.MulticastGroup != "" {
+		mg, err := icp.JoinMulticast(cfg.MulticastGroup, cfg.MulticastInterface, n.handleMulticast)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		n.mcast = mg
+		n.groupAddr = mg.Group()
+	}
+	if cfg.TCPUpdateAddr != "" {
+		srv, err := icp.ListenTCP(cfg.TCPUpdateAddr, n.handleTCPUpdate)
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.tcpSrv = srv
+	}
+	if cfg.PublishInterval > 0 {
+		n.stopTimer = make(chan struct{})
+		go n.publishLoop(cfg.PublishInterval)
+	}
+	conn.Start() // all handler dependencies are wired; begin serving
+	return n, nil
+}
+
+// TCPUpdateAddr returns the TCP update-channel address (nil if disabled).
+func (n *Node) TCPUpdateAddr() net.Addr {
+	if n.tcpSrv == nil {
+		return nil
+	}
+	return n.tcpSrv.Addr()
+}
+
+// handleTCPUpdate consumes updates from the TCP channel. The TCP source
+// port is ephemeral, so the sender embeds its ICP (UDP) port in the
+// message's OptionData; combined with the connection's source IP that
+// reconstructs the peer identity used for summaries and queries.
+func (n *Node) handleTCPUpdate(from *net.UDPAddr, m icp.Message) {
+	if m.Op != icp.OpDirUpdate {
+		return
+	}
+	id := from
+	if m.OptionData != 0 {
+		id = &net.UDPAddr{IP: from.IP, Port: int(m.OptionData)}
+	}
+	full := m.Options&icp.OptionFullUpdate != 0
+	if err := n.peers.ApplyUpdate(id.String(), m.Update, full); err == nil {
+		n.updatesRecv.Add(1)
+	}
+}
+
+// AddPeerTCP registers a neighbor whose updates travel over a persistent
+// TCP connection to tcpAddr; queries still go to udpAddr. The full current
+// state is shipped immediately, as with AddPeer.
+func (n *Node) AddPeerTCP(udpAddr *net.UDPAddr, tcpAddr string) error {
+	n.mu.Lock()
+	n.peerAddrs[udpAddr.String()] = udpAddr
+	n.mu.Unlock()
+	n.tcpMu.Lock()
+	n.tcpPeers[udpAddr.String()] = icp.NewTCPClient(tcpAddr, 0)
+	n.tcpMu.Unlock()
+	return n.sendFullState(udpAddr)
+}
+
+// publishLoop implements time-based updates: any pending deltas are
+// published every interval, regardless of the threshold.
+func (n *Node) publishLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.PublishNow()
+		case <-n.stopTimer:
+			return
+		}
+	}
+}
+
+// Addr returns the node's bound UDP address.
+func (n *Node) Addr() *net.UDPAddr { return n.conn.Addr() }
+
+// isSelf reports whether from is this node's own endpoint. When the node
+// is bound to the unspecified address, any local interface IP with the
+// node's port is self (loopbacked multicast arrives with a concrete
+// source IP).
+func (n *Node) isSelf(from *net.UDPAddr) bool {
+	own := n.Addr()
+	if from.Port != own.Port {
+		return false
+	}
+	if from.IP.Equal(own.IP) {
+		return true
+	}
+	if !own.IP.IsUnspecified() {
+		return false
+	}
+	n.localIPsOnce.Do(func() {
+		if addrs, err := net.InterfaceAddrs(); err == nil {
+			for _, a := range addrs {
+				if ipn, ok := a.(*net.IPNet); ok {
+					n.localIPs = append(n.localIPs, ipn.IP)
+				}
+			}
+		}
+	})
+	for _, ip := range n.localIPs {
+		if from.IP.Equal(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// Directory exposes the local summary (diagnostics and tests).
+func (n *Node) Directory() *Directory { return n.dir }
+
+// PeerSummaries exposes the peer replica table (diagnostics and tests).
+func (n *Node) PeerSummaries() *PeerTable { return n.peers }
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	if n.stopTimer != nil {
+		select {
+		case <-n.stopTimer:
+		default:
+			close(n.stopTimer)
+		}
+	}
+	if n.mcast != nil {
+		n.mcast.Close()
+	}
+	if n.tcpSrv != nil {
+		n.tcpSrv.Close()
+	}
+	n.tcpMu.Lock()
+	for _, c := range n.tcpPeers {
+		c.Close()
+	}
+	n.tcpMu.Unlock()
+	return n.conn.Close()
+}
+
+// handleMulticast consumes group traffic: directory updates from peers
+// (our own loopbacked datagrams are ignored by source address).
+func (n *Node) handleMulticast(from *net.UDPAddr, m icp.Message) {
+	if m.Op != icp.OpDirUpdate || n.isSelf(from) {
+		return
+	}
+	full := m.Options&icp.OptionFullUpdate != 0
+	if err := n.peers.ApplyUpdate(from.String(), m.Update, full); err == nil {
+		n.updatesRecv.Add(1)
+	}
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		QueriesSent:     n.queriesSent.Load(),
+		QueriesReceived: n.queriesRecv.Load(),
+		RemoteHits:      n.remoteHits.Load(),
+		FalseHits:       n.falseHits.Load(),
+		UpdatesSent:     n.updatesSent.Load(),
+		UpdatesReceived: n.updatesRecv.Load(),
+		UpdateEvents:    n.updateEvents.Load(),
+		UDP:             n.conn.Stats(),
+	}
+}
+
+// AddPeer registers a neighbor and bootstraps it with this node's full
+// summary state so its replica starts correct.
+func (n *Node) AddPeer(addr *net.UDPAddr) error {
+	n.mu.Lock()
+	n.peerAddrs[addr.String()] = addr
+	n.mu.Unlock()
+	return n.sendFullState(addr)
+}
+
+// RemovePeer forgets a neighbor and its summary.
+func (n *Node) RemovePeer(addr *net.UDPAddr) {
+	n.mu.Lock()
+	delete(n.peerAddrs, addr.String())
+	n.mu.Unlock()
+	n.tcpMu.Lock()
+	if c := n.tcpPeers[addr.String()]; c != nil {
+		c.Close()
+		delete(n.tcpPeers, addr.String())
+	}
+	n.tcpMu.Unlock()
+	n.peers.Drop(addr.String())
+}
+
+// PeerAddrs returns the registered neighbor addresses.
+func (n *Node) PeerAddrs() []*net.UDPAddr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*net.UDPAddr, 0, len(n.peerAddrs))
+	for _, a := range n.peerAddrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// HandleInsert records a document entering the local cache and publishes
+// the summary if the update threshold trips.
+func (n *Node) HandleInsert(url string) {
+	n.dir.Insert(url)
+	n.maybePublish()
+}
+
+// HandleEvict records a document leaving the local cache.
+func (n *Node) HandleEvict(url string) {
+	n.dir.Remove(url)
+	n.maybePublish()
+}
+
+func (n *Node) maybePublish() {
+	ready := func() bool {
+		return n.dir.ShouldPublish() && n.dir.PendingFlips() >= n.cfg.MinFlipsToPublish
+	}
+	if !ready() {
+		return
+	}
+	n.publishMu.Lock()
+	defer n.publishMu.Unlock()
+	if !ready() { // re-check under the lock
+		return
+	}
+	n.publishLocked()
+}
+
+// PublishNow forces publication of any pending deltas.
+func (n *Node) PublishNow() {
+	n.publishMu.Lock()
+	defer n.publishMu.Unlock()
+	if n.dir.PendingFlips() == 0 {
+		return
+	}
+	n.publishLocked()
+}
+
+func (n *Node) publishLocked() {
+	flips := n.dir.Drain()
+	if len(flips) == 0 {
+		return
+	}
+	n.updateEvents.Add(1)
+	msgs := icp.SplitUpdate(n.conn.NextReqNum(), n.dir.Spec(), uint32(n.dir.Bits()), flips, n.cfg.MaxFlipsPerUpdate)
+	n.stampIdentity(msgs)
+	if n.groupAddr != nil {
+		// One datagram to the group replaces N−1 unicasts.
+		for _, m := range msgs {
+			if err := n.conn.Send(n.groupAddr, m); err == nil {
+				n.updatesSent.Add(1)
+			}
+		}
+		return
+	}
+	for _, addr := range n.PeerAddrs() {
+		for _, m := range msgs {
+			if err := n.sendUpdate(addr, m); err == nil {
+				n.updatesSent.Add(1)
+			}
+		}
+	}
+}
+
+// stampIdentity embeds this node's ICP port into update messages so
+// non-UDP transports can attribute them (see handleTCPUpdate).
+func (n *Node) stampIdentity(msgs []icp.Message) {
+	port := uint32(n.Addr().Port)
+	for i := range msgs {
+		msgs[i].OptionData = port
+	}
+}
+
+// sendUpdate routes one update message to a peer over its preferred
+// channel: the persistent TCP connection when one is registered, UDP
+// otherwise.
+func (n *Node) sendUpdate(addr *net.UDPAddr, m icp.Message) error {
+	n.tcpMu.Lock()
+	cli := n.tcpPeers[addr.String()]
+	n.tcpMu.Unlock()
+	if cli != nil {
+		return cli.Send(m)
+	}
+	return n.conn.Send(addr, m)
+}
+
+// sendFullState ships the entire filter to one peer, flagged so the peer
+// resets its replica first.
+func (n *Node) sendFullState(addr *net.UDPAddr) error {
+	flips := n.dir.SnapshotFlips()
+	msgs := icp.SplitUpdate(n.conn.NextReqNum(), n.dir.Spec(), uint32(n.dir.Bits()), flips, n.cfg.MaxFlipsPerUpdate)
+	n.stampIdentity(msgs)
+	for i, m := range msgs {
+		if i == 0 {
+			m.Options |= icp.OptionFullUpdate
+		}
+		if err := n.sendUpdate(addr, m); err != nil {
+			return err
+		}
+		n.updatesSent.Add(1)
+	}
+	return nil
+}
+
+// Lookup resolves a local miss: probe the peer summaries, ICP-query only
+// the candidate peers, and return the address of the first peer that
+// confirmed a hit (nil when the document must be fetched from the origin).
+// candidates reports how many peers were queried (0 means the summaries
+// ruled everyone out and no message was sent).
+func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candidates int, err error) {
+	ids := n.peers.Candidates(url)
+	if len(ids) == 0 {
+		return nil, 0, nil
+	}
+	n.mu.RLock()
+	addrs := make([]*net.UDPAddr, 0, len(ids))
+	var unknown []string
+	for _, id := range ids {
+		if a := n.peerAddrs[id]; a != nil {
+			addrs = append(addrs, a)
+		} else {
+			unknown = append(unknown, id)
+		}
+	}
+	n.mu.RUnlock()
+	// Summaries can arrive from peers we never explicitly registered (for
+	// example over a multicast group, where the replica is keyed by the
+	// datagram's source address); the key is itself the address to query.
+	for _, id := range unknown {
+		if a, err := net.ResolveUDPAddr("udp", id); err == nil {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, 0, nil
+	}
+	n.queriesSent.Add(uint64(len(addrs)))
+	qctx, cancel := context.WithTimeout(ctx, n.cfg.QueryTimeout)
+	defer cancel()
+	ok, from, err := n.conn.QueryAll(qctx, addrs, url)
+	if err != nil {
+		return nil, len(addrs), err
+	}
+	if ok {
+		n.remoteHits.Add(1)
+		return from, len(addrs), nil
+	}
+	n.falseHits.Add(1)
+	return nil, len(addrs), nil
+}
+
+// handle serves incoming unsolicited messages.
+func (n *Node) handle(from *net.UDPAddr, m icp.Message) {
+	switch m.Op {
+	case icp.OpQuery:
+		n.queriesRecv.Add(1)
+		op := icp.OpMiss
+		if n.cfg.HasDocument(m.URL) {
+			op = icp.OpHit
+		}
+		_ = n.conn.Send(from, icp.NewReply(op, m.ReqNum, m.URL))
+	case icp.OpDirUpdate:
+		full := m.Options&icp.OptionFullUpdate != 0
+		if err := n.peers.ApplyUpdate(from.String(), m.Update, full); err == nil {
+			n.updatesRecv.Add(1)
+		}
+	}
+}

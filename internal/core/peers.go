@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"summarycache/internal/bloom"
+	"summarycache/internal/hashing"
+	"summarycache/internal/icp"
+)
+
+// PeerTable holds this proxy's replicas of every neighbor's summary — "an
+// additional bit array is added to the data structure for each neighbor.
+// The structure is initialized when the first summary update message is
+// received from the neighbor." Keys are opaque peer identifiers (the node
+// layer uses UDP address strings). PeerTable is safe for concurrent use.
+type PeerTable struct {
+	mu    sync.RWMutex
+	peers map[string]*peerSummary
+}
+
+type peerSummary struct {
+	filter *bloom.Filter
+	spec   hashing.Spec
+	// updates counts applied DIRUPDATE messages (diagnostics).
+	updates uint64
+}
+
+// NewPeerTable creates an empty table.
+func NewPeerTable() *PeerTable {
+	return &PeerTable{peers: make(map[string]*peerSummary)}
+}
+
+// Len returns the number of peers with initialized summaries.
+func (pt *PeerTable) Len() int {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	return len(pt.peers)
+}
+
+// Peers returns the known peer identifiers, sorted.
+func (pt *PeerTable) Peers() []string {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	out := make([]string, 0, len(pt.peers))
+	for id := range pt.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ApplyUpdate folds a decoded directory update from peer into its replica,
+// creating or re-creating the replica when the update announces a new
+// geometry (every update message carries the full hash specification "so
+// that receivers can verify the information"). When full is true the
+// replica is reset before applying — the full-state bootstrap a recovered
+// neighbor sends.
+func (pt *PeerTable) ApplyUpdate(peer string, u *icp.DirUpdate, full bool) error {
+	if u == nil {
+		return icp.ErrNotDirUpdate
+	}
+	if err := u.Spec.Validate(); err != nil {
+		return fmt.Errorf("core: update from %s: %w", peer, err)
+	}
+	if u.Bits == 0 {
+		return fmt.Errorf("core: update from %s announces empty bit array", peer)
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	ps := pt.peers[peer]
+	if ps == nil || ps.spec != u.Spec || ps.filter.Size() != uint64(u.Bits) {
+		f, err := bloom.NewFilter(uint64(u.Bits), u.Spec)
+		if err != nil {
+			return fmt.Errorf("core: update from %s: %w", peer, err)
+		}
+		ps = &peerSummary{filter: f, spec: u.Spec}
+		pt.peers[peer] = ps
+	} else if full {
+		ps.filter.Reset()
+	}
+	if err := ps.filter.Apply(u.Flips); err != nil {
+		return fmt.Errorf("core: update from %s: %w", peer, err)
+	}
+	ps.updates++
+	return nil
+}
+
+// Candidates returns the peers whose summaries indicate url may be cached
+// there — the set the node will actually query. Peers without an
+// initialized summary are never candidates (no false misses result beyond
+// those the delayed summary already causes: an uninitialized peer is
+// treated as unknown, matching the prototype).
+func (pt *PeerTable) Candidates(url string) []string {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	var out []string
+	for id, ps := range pt.peers {
+		if ps.filter.Test(url) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a peer's replica (Squid's neighbor-failure handling).
+func (pt *PeerTable) Drop(peer string) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	delete(pt.peers, peer)
+}
+
+// Updates returns how many update messages have been applied for peer.
+func (pt *PeerTable) Updates(peer string) uint64 {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	if ps := pt.peers[peer]; ps != nil {
+		return ps.updates
+	}
+	return 0
+}
+
+// MemoryBytes returns the total bytes of all peer summary replicas — the
+// quantity the paper's §V-F extrapolates to ~200 MB for 100 proxies.
+func (pt *PeerTable) MemoryBytes() uint64 {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	var total uint64
+	for _, ps := range pt.peers {
+		total += (ps.filter.Size() + 7) / 8
+	}
+	return total
+}

@@ -1,0 +1,285 @@
+// Package delta implements rsync-style delta encoding between document
+// versions. The paper notes that remote stale hits "are not necessarily
+// wasted efforts, because delta compressions can be used to transfer the
+// new document" (§V, citing Mogul et al.): a proxy holding a stale copy
+// can fetch just the differences instead of the full body.
+//
+// The encoding is the classic two-level rolling scheme: the receiver's old
+// version is cut into fixed-size blocks, each summarized by a weak 32-bit
+// rolling checksum (an Adler-32 variant, cheap to slide byte-by-byte) and
+// a strong MD5 digest; the sender slides a window over the new version,
+// matching blocks via weak-then-strong lookup, and emits COPY operations
+// for matches and LITERAL runs for everything else.
+package delta
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSize balances signature size against match granularity for
+// Web-document-sized payloads.
+const DefaultBlockSize = 512
+
+// Op codes of the delta stream.
+const (
+	opCopy    = 0x01 // uvarint blockIndex, uvarint blockCount
+	opLiteral = 0x02 // uvarint length, bytes
+)
+
+// Signature summarizes one version of a document for delta computation.
+type Signature struct {
+	BlockSize int
+	// blocks[i] describes old[i*BlockSize : (i+1)*BlockSize] (the final
+	// block may be short).
+	weak     []uint32
+	strong   [][md5.Size]byte
+	totalLen int
+
+	// weakIndex maps weak checksum -> candidate block indices.
+	weakIndex map[uint32][]int
+}
+
+// NewSignature computes the block signature of old.
+func NewSignature(old []byte, blockSize int) *Signature {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	s := &Signature{
+		BlockSize: blockSize,
+		totalLen:  len(old),
+		weakIndex: make(map[uint32][]int),
+	}
+	for i := 0; i < len(old); i += blockSize {
+		end := i + blockSize
+		if end > len(old) {
+			end = len(old)
+		}
+		w := weakSum(old[i:end])
+		idx := len(s.weak)
+		s.weak = append(s.weak, w)
+		s.strong = append(s.strong, md5.Sum(old[i:end]))
+		s.weakIndex[w] = append(s.weakIndex[w], idx)
+	}
+	return s
+}
+
+// Blocks returns the number of blocks in the signature.
+func (s *Signature) Blocks() int { return len(s.weak) }
+
+// SignatureBytes returns the wire size of the signature (what the stale
+// holder sends upstream): 4 weak + 16 strong bytes per block plus a small
+// header (block size and total length).
+func (s *Signature) SignatureBytes() int { return 16 + s.Blocks()*(4+md5.Size) }
+
+// weakSum is the Adler-style rolling checksum over b.
+func weakSum(b []byte) uint32 {
+	var a, s uint32
+	for i, c := range b {
+		a += uint32(c)
+		s += uint32(len(b)-i) * uint32(c)
+	}
+	return a&0xffff | s<<16
+}
+
+// roller slides the weak checksum one byte at a time.
+type roller struct {
+	a, s uint32
+	n    uint32
+}
+
+func newRoller(b []byte) roller {
+	var r roller
+	r.n = uint32(len(b))
+	for i, c := range b {
+		r.a += uint32(c)
+		r.s += uint32(len(b)-i) * uint32(c)
+	}
+	return r
+}
+
+// roll removes out and appends in.
+func (r *roller) roll(out, in byte) {
+	r.a += uint32(in) - uint32(out)
+	r.s += r.a - r.n*uint32(out)
+}
+
+func (r *roller) sum() uint32 { return r.a&0xffff | r.s<<16 }
+
+// Encode computes a delta that transforms the document described by sig
+// into target. The stream header carries the block size and the base
+// length so Apply can verify it is fed the right base version.
+func Encode(sig *Signature, target []byte) []byte {
+	bs := sig.BlockSize
+	out := binary.AppendUvarint(nil, uint64(bs))
+	out = binary.AppendUvarint(out, uint64(sig.totalLen))
+	var litStart int
+	flushLiteral := func(end int) {
+		if end > litStart {
+			out = append(out, opLiteral)
+			out = binary.AppendUvarint(out, uint64(end-litStart))
+			out = append(out, target[litStart:end]...)
+		}
+	}
+	emitCopy := func(first, count int) {
+		out = append(out, opCopy)
+		out = binary.AppendUvarint(out, uint64(first))
+		out = binary.AppendUvarint(out, uint64(count))
+	}
+
+	i := 0
+	pendingFirst, pendingCount, pendingNext := -1, 0, -1
+	flushCopy := func() {
+		if pendingCount > 0 {
+			emitCopy(pendingFirst, pendingCount)
+			pendingFirst, pendingCount, pendingNext = -1, 0, -1
+		}
+	}
+	var r roller
+	rValid := false
+	for i+bs <= len(target) {
+		if !rValid {
+			r = newRoller(target[i : i+bs])
+			rValid = true
+		}
+		match := -1
+		if cands, ok := sig.weakIndex[r.sum()]; ok {
+			strong := md5.Sum(target[i : i+bs])
+			for _, c := range cands {
+				// Only full-size blocks participate in sliding matches.
+				if blockLen(sig, c) == bs && sig.strong[c] == strong {
+					match = c
+					break
+				}
+			}
+		}
+		if match >= 0 {
+			flushLiteral(i)
+			if pendingCount > 0 && match == pendingNext {
+				pendingCount++
+				pendingNext++
+			} else {
+				flushCopy()
+				pendingFirst, pendingCount, pendingNext = match, 1, match+1
+			}
+			i += bs
+			litStart = i
+			rValid = false
+			continue
+		}
+		flushCopy()
+		if i+bs < len(target) {
+			r.roll(target[i], target[i+bs])
+		}
+		i++
+	}
+	flushCopy()
+	// Tail: try to match the (possibly short) final source block exactly.
+	if litStart < len(target) {
+		tail := target[litStart:]
+		if n := sig.Blocks(); n > 0 && blockLen(sig, n-1) == len(tail) &&
+			sig.weak[n-1] == weakSum(tail) && sig.strong[n-1] == md5.Sum(tail) {
+			emitCopy(n-1, 1)
+		} else {
+			flushLiteral(len(target))
+		}
+	}
+	return out
+}
+
+func blockLen(sig *Signature, i int) int {
+	if i == sig.Blocks()-1 {
+		if rem := sig.totalLen % sig.BlockSize; rem != 0 {
+			return rem
+		}
+	}
+	return sig.BlockSize
+}
+
+// Errors from Apply.
+var (
+	ErrCorruptDelta = errors.New("delta: corrupt delta stream")
+	ErrBadBase      = errors.New("delta: base does not match delta geometry")
+)
+
+// Apply reconstructs the target document from the receiver's old version
+// and a delta produced against its signature.
+func Apply(old, delta []byte) ([]byte, error) {
+	bsU, n := binary.Uvarint(delta)
+	if n <= 0 || bsU == 0 {
+		return nil, ErrCorruptDelta
+	}
+	bs := int(bsU)
+	delta = delta[n:]
+	baseLen, n := binary.Uvarint(delta)
+	if n <= 0 {
+		return nil, ErrCorruptDelta
+	}
+	delta = delta[n:]
+	if uint64(len(old)) != baseLen {
+		return nil, fmt.Errorf("%w: base is %d bytes, delta expects %d", ErrBadBase, len(old), baseLen)
+	}
+	var out []byte
+	for len(delta) > 0 {
+		op := delta[0]
+		delta = delta[1:]
+		switch op {
+		case opCopy:
+			first, n := binary.Uvarint(delta)
+			if n <= 0 {
+				return nil, ErrCorruptDelta
+			}
+			delta = delta[n:]
+			count, n := binary.Uvarint(delta)
+			if n <= 0 || count == 0 {
+				return nil, ErrCorruptDelta
+			}
+			delta = delta[n:]
+			start := int(first) * bs
+			end := start + int(count)*bs
+			if end > len(old) {
+				end = len(old)
+			}
+			if start >= len(old) || end <= start {
+				return nil, fmt.Errorf("%w: copy [%d,%d) of %d", ErrBadBase, start, end, len(old))
+			}
+			out = append(out, old[start:end]...)
+		case opLiteral:
+			l, n := binary.Uvarint(delta)
+			if n <= 0 || uint64(len(delta)-n) < l {
+				return nil, ErrCorruptDelta
+			}
+			delta = delta[n:]
+			out = append(out, delta[:l]...)
+			delta = delta[l:]
+		default:
+			return nil, fmt.Errorf("%w: op 0x%02x", ErrCorruptDelta, op)
+		}
+	}
+	return out, nil
+}
+
+// Transfer summarizes the economics of one delta exchange for accounting:
+// what crossing the wire costs with and without delta compression.
+type Transfer struct {
+	FullBytes      int // sending the new document outright
+	SignatureBytes int // stale holder -> owner
+	DeltaBytes     int // owner -> stale holder
+}
+
+// Saved reports the byte saving (negative when delta transfer loses).
+func (t Transfer) Saved() int { return t.FullBytes - t.SignatureBytes - t.DeltaBytes }
+
+// Plan computes the delta between old and new versions and returns both
+// the delta stream and its economics.
+func Plan(old, new []byte, blockSize int) ([]byte, Transfer) {
+	sig := NewSignature(old, blockSize)
+	d := Encode(sig, new)
+	return d, Transfer{
+		FullBytes:      len(new),
+		SignatureBytes: sig.SignatureBytes(),
+		DeltaBytes:     len(d),
+	}
+}

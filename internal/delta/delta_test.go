@@ -1,0 +1,186 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, old, target []byte, blockSize int) []byte {
+	t.Helper()
+	sig := NewSignature(old, blockSize)
+	d := Encode(sig, target)
+	got, err := Apply(old, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(target))
+	}
+	return d
+}
+
+func TestIdenticalVersions(t *testing.T) {
+	doc := bytes.Repeat([]byte("summary cache "), 400) // 5600 bytes
+	d := roundTrip(t, doc, doc, 512)
+	// An unchanged document should cost a tiny fraction of its size.
+	if len(d) > len(doc)/20 {
+		t.Errorf("delta of identical doc = %d bytes for %d-byte doc", len(d), len(doc))
+	}
+}
+
+func TestSmallEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	old := make([]byte, 16384)
+	rng.Read(old)
+	target := append([]byte(nil), old...)
+	copy(target[7000:], []byte("EDITED CONTENT HERE"))
+	d := roundTrip(t, old, target, 512)
+	if len(d) > 3*512 {
+		t.Errorf("small edit cost %d bytes", len(d))
+	}
+}
+
+func TestInsertionShiftsBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	old := make([]byte, 8192)
+	rng.Read(old)
+	// Insert 10 bytes near the front: everything after shifts, which only
+	// a rolling (not block-aligned) match can recover.
+	target := append(append(append([]byte(nil), old[:100]...), []byte("0123456789")...), old[100:]...)
+	d := roundTrip(t, old, target, 512)
+	if len(d) > len(target)/4 {
+		t.Errorf("insertion delta %d bytes of %d; rolling match failed", len(d), len(target))
+	}
+}
+
+func TestCompletelyDifferent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	old := make([]byte, 4096)
+	target := make([]byte, 4096)
+	rng.Read(old)
+	rng.Read(target)
+	d := roundTrip(t, old, target, 512)
+	// All literals plus small framing.
+	if len(d) < len(target) || len(d) > len(target)+64 {
+		t.Errorf("unrelated delta = %d bytes for %d-byte target", len(d), len(target))
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	roundTrip(t, nil, []byte("fresh content"), 512)
+	roundTrip(t, []byte("old content"), nil, 512)
+	roundTrip(t, nil, nil, 512)
+}
+
+func TestShortTailBlockReuse(t *testing.T) {
+	old := append(bytes.Repeat([]byte{7}, 1024), []byte("tail!")...)
+	// Same tail, new middle.
+	target := append(bytes.Repeat([]byte{9}, 1024), []byte("tail!")...)
+	sig := NewSignature(old, 512)
+	d := Encode(sig, target)
+	got, err := Apply(old, d)
+	if err != nil || !bytes.Equal(got, target) {
+		t.Fatalf("short-tail round trip failed: %v", err)
+	}
+}
+
+func TestApplyRejectsCorruption(t *testing.T) {
+	old := bytes.Repeat([]byte("x"), 2048)
+	sig := NewSignature(old, 512)
+	d := Encode(sig, old)
+	for _, bad := range [][]byte{
+		nil,
+		{0x00},
+		append([]byte{}, 0xFF),
+		func() []byte { c := append([]byte(nil), d...); c[len(c)-1] ^= 0; return c[:len(c)-1] }(),
+	} {
+		if _, err := Apply(old, bad); err == nil && len(bad) > 0 {
+			t.Errorf("accepted corrupt delta %v", bad)
+		}
+	}
+	// Copy beyond the base must fail.
+	if _, err := Apply(old[:100], d); err == nil {
+		t.Error("accepted delta against wrong base")
+	}
+}
+
+func TestSignatureBytes(t *testing.T) {
+	sig := NewSignature(make([]byte, 512*10), 512)
+	if sig.Blocks() != 10 {
+		t.Fatalf("blocks = %d", sig.Blocks())
+	}
+	if sig.SignatureBytes() != 16+10*20 {
+		t.Fatalf("signature bytes = %d", sig.SignatureBytes())
+	}
+}
+
+// Property: Apply(old, Encode(Sig(old), target)) == target for arbitrary
+// byte strings and block sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(old, target []byte, bsRaw uint8) bool {
+		bs := int(bsRaw%64) + 4
+		sig := NewSignature(old, bs)
+		d := Encode(sig, target)
+		got, err := Apply(old, d)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, target)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's use case: a remote stale hit transfers signature + delta
+// instead of the full document; for a typical small-change update this
+// must win by a wide margin.
+func TestPlanEconomics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	old := make([]byte, 32768)
+	rng.Read(old)
+	target := append([]byte(nil), old...)
+	copy(target[10000:], []byte("a modest content update in a mostly unchanged page"))
+
+	d, tr := Plan(old, target, 0)
+	if got, err := Apply(old, d); err != nil || !bytes.Equal(got, target) {
+		t.Fatalf("plan round trip failed: %v", err)
+	}
+	if tr.FullBytes != len(target) {
+		t.Fatalf("economics: %+v", tr)
+	}
+	if tr.Saved() < tr.FullBytes/2 {
+		t.Errorf("delta transfer saved only %d of %d bytes", tr.Saved(), tr.FullBytes)
+	}
+}
+
+func BenchmarkEncode32K(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	old := make([]byte, 32768)
+	rng.Read(old)
+	target := append([]byte(nil), old...)
+	copy(target[16000:], []byte("small edit"))
+	sig := NewSignature(old, DefaultBlockSize)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(target)))
+	for i := 0; i < b.N; i++ {
+		Encode(sig, target)
+	}
+}
+
+func BenchmarkApply32K(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	old := make([]byte, 32768)
+	rng.Read(old)
+	sig := NewSignature(old, DefaultBlockSize)
+	d := Encode(sig, old)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(old)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(old, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

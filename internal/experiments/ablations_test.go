@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"summarycache/internal/tracegen"
+)
+
+func TestDigestVsDelta(t *testing.T) {
+	ts := loadTest(t, tracegen.UPisa)
+	rows, err := DigestVsDelta(ts, []float64{0.01, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	small, large := rows[0], rows[1]
+	// At a small threshold deltas are tiny and the digest ships the whole
+	// array every time: delta must win.
+	if small.DeltaBytesReq >= small.DigestBytesReq {
+		t.Errorf("threshold 1%%: delta (%.1f B/req) should beat digest (%.1f B/req)",
+			small.DeltaBytesReq, small.DigestBytesReq)
+	}
+	// Digest cost per event is constant, so growing the threshold cannot
+	// increase its per-request cost; delta's per-event cost grows with the
+	// batch. The *gap* must narrow (the §VI crossover direction).
+	gapSmall := small.DigestBytesReq / small.DeltaBytesReq
+	gapLarge := large.DigestBytesReq / large.DeltaBytesReq
+	if gapLarge >= gapSmall {
+		t.Errorf("digest/delta ratio should shrink with threshold: %.2f → %.2f",
+			gapSmall, gapLarge)
+	}
+	if small.HitRatio <= 0 {
+		t.Error("zero hit ratio")
+	}
+}
+
+func TestHashKSweep(t *testing.T) {
+	ts := loadTest(t, tracegen.UPisa)
+	rows, err := HashKSweep(ts, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// k=1 must have far more false hits than k=4 at load factor 16.
+	if rows[0].FalseHit <= rows[1].FalseHit {
+		t.Errorf("k=1 false hits (%.4f) should exceed k=4 (%.4f)",
+			rows[0].FalseHit, rows[1].FalseHit)
+	}
+	// Analytic prediction must order the same way.
+	if rows[0].AnalyticFP <= rows[1].AnalyticFP {
+		t.Error("analytic FP ordering broken")
+	}
+	// Hit ratios barely move (false hits don't lose hits).
+	for _, r := range rows[1:] {
+		if d := r.HitRatio - rows[0].HitRatio; d > 0.02 || d < -0.02 {
+			t.Errorf("k=%d hit ratio moved too much: %.4f vs %.4f", r.K, r.HitRatio, rows[0].HitRatio)
+		}
+	}
+}
+
+func TestCounterWidthSweep(t *testing.T) {
+	ts := loadTest(t, tracegen.UPisa)
+	rows, err := CounterWidthSweep(ts, []uint{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, wide := rows[0], rows[1]
+	// 1-bit counters saturate on the first shared position; 4-bit counters
+	// should rarely saturate at the paper's load factor.
+	if narrow.Saturations == 0 {
+		t.Error("1-bit counters never saturated — implausible")
+	}
+	if wide.Saturations > narrow.Saturations/10 {
+		t.Errorf("4-bit saturations (%d) not far below 1-bit (%d)",
+			wide.Saturations, narrow.Saturations)
+	}
+	// Stuck bits make the narrow filter claim more: false hits at least as
+	// high as the wide filter's.
+	if narrow.FalseHit < wide.FalseHit {
+		t.Errorf("1-bit false hits (%.4f) below 4-bit (%.4f)", narrow.FalseHit, wide.FalseHit)
+	}
+	// Memory scales with width.
+	if narrow.MemoryBytes >= wide.MemoryBytes {
+		t.Error("1-bit counters should use less memory than 4-bit")
+	}
+}
+
+func TestLoadFactorSweep(t *testing.T) {
+	ts := loadTest(t, tracegen.UPisa)
+	rows, err := LoadFactorSweep(ts, []float64{4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// False hits fall and memory rises monotonically with the load factor.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FalseHit > rows[i-1].FalseHit {
+			t.Errorf("false hits rose with load factor: lf=%g %.4f → lf=%g %.4f",
+				rows[i-1].LoadFactor, rows[i-1].FalseHit, rows[i].LoadFactor, rows[i].FalseHit)
+		}
+		if rows[i].MemoryPct <= rows[i-1].MemoryPct {
+			t.Errorf("memory did not rise with load factor")
+		}
+	}
+}

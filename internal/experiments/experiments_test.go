@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"testing"
+
+	"summarycache/internal/sim"
+	"summarycache/internal/tracegen"
+)
+
+// A small scale keeps the unit tests fast; benchmark runs use larger scales.
+const testScale = 0.05
+
+func loadTest(t *testing.T, p tracegen.Preset) TraceSet {
+	t.Helper()
+	ts, err := Load(p, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestLoadAll(t *testing.T) {
+	all, err := LoadAll(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("got %d traces", len(all))
+	}
+	names := map[string]bool{}
+	for _, ts := range all {
+		names[ts.Name] = true
+		if ts.Stats.Requests == 0 || ts.Groups <= 0 || ts.AvgDocBytes <= 0 {
+			t.Errorf("%s: bad derived parameters %+v", ts.Name, ts)
+		}
+		if ts.CacheBytesPerProxy(0.10) <= 0 {
+			t.Errorf("%s: non-positive cache size", ts.Name)
+		}
+	}
+	for _, want := range []string{"DEC", "UCB", "UPisa", "Questnet", "NLANR"} {
+		if !names[want] {
+			t.Errorf("missing trace %s", want)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	ts := loadTest(t, tracegen.UPisa)
+	rows, err := Fig1(ts, []float64{0.05, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(Fig1Schemes) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Scheme.String()+"@"+itoa(r.CacheFrac)] = r.HitRatio
+	}
+	// Sharing beats no sharing at both sizes.
+	for _, frac := range []float64{0.05, 0.10} {
+		k := itoa(frac)
+		if byKey["simple@"+k] <= byKey["no-sharing@"+k] {
+			t.Errorf("frac %v: simple (%.3f) did not beat no-sharing (%.3f)",
+				frac, byKey["simple@"+k], byKey["no-sharing@"+k])
+		}
+	}
+	// Hit ratio grows with cache size for every scheme.
+	for _, sch := range Fig1Schemes {
+		if byKey[sch.String()+"@"+itoa(0.10)] < byKey[sch.String()+"@"+itoa(0.05)]-0.01 {
+			t.Errorf("%v: hit ratio shrank with larger cache", sch)
+		}
+	}
+}
+
+func itoa(f float64) string {
+	switch f {
+	case 0.05:
+		return "5"
+	case 0.10:
+		return "10"
+	default:
+		return "x"
+	}
+}
+
+func TestFig2(t *testing.T) {
+	ts := loadTest(t, tracegen.UCB)
+	rows, err := Fig2(ts, []float64{0, 0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Threshold != 0 || rows[0].FalseMissRate != 0 {
+		t.Errorf("zero threshold must have zero false misses: %+v", rows[0])
+	}
+	// Hit ratio non-increasing in threshold; false misses non-decreasing.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HitRatio > rows[i-1].HitRatio+1e-9 {
+			t.Errorf("hit ratio rose with threshold: %+v -> %+v", rows[i-1], rows[i])
+		}
+		if rows[i].FalseMissRate+1e-9 < rows[i-1].FalseMissRate {
+			t.Errorf("false misses fell with threshold: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestSummaryComparison(t *testing.T) {
+	ts := loadTest(t, tracegen.UPisa)
+	rows, err := SummaryComparison(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PaperSummaryVariants) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byLabel := map[string]SummaryRow{}
+	for _, r := range rows {
+		byLabel[r.Label()] = r
+		if r.Label() == "" {
+			t.Error("empty label")
+		}
+	}
+	// Fig. 5: bloom ≈ exact-directory hit ratio.
+	d := byLabel["bloom_16"].HitRatio - byLabel["exact-directory"].HitRatio
+	if d > 0.02 || d < -0.02 {
+		t.Errorf("bloom16 vs exact hit delta %.4f too large", d)
+	}
+	// Fig. 6: server-name false hits dominate.
+	if byLabel["server-name"].FalseHit <= byLabel["bloom_32"].FalseHit {
+		t.Error("server-name should have the worst false-hit ratio")
+	}
+	// Fig. 7: ICP has the most query traffic. (At this toy scale each
+	// proxy caches only a few dozen documents, so the 1% update threshold
+	// degenerates to one update per insert and total message counts are
+	// update-dominated; the paper's regime — million-entry caches where
+	// updates amortize away — is exercised by the benchmarks. Query
+	// traffic is the scale-robust part of the claim.)
+	for _, l := range []string{"exact-directory", "bloom_8", "bloom_16", "bloom_32"} {
+		if byLabel[l].Result.QueryMessages >= byLabel["ICP"].Result.QueryMessages {
+			t.Errorf("%s queries %d not below ICP %d", l,
+				byLabel[l].Result.QueryMessages, byLabel["ICP"].Result.QueryMessages)
+		}
+	}
+	// Table III: memory ordering bloom8 < bloom16 < bloom32 < exact.
+	if !(byLabel["bloom_8"].MemoryPct < byLabel["bloom_16"].MemoryPct &&
+		byLabel["bloom_16"].MemoryPct < byLabel["bloom_32"].MemoryPct) {
+		t.Error("bloom memory should grow with load factor")
+	}
+	if byLabel["ICP"].MemoryPct != 0 {
+		t.Error("ICP needs no summary memory")
+	}
+}
+
+func TestScalability(t *testing.T) {
+	rows, err := Scalability([]int{4, 8}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MsgsPerReq >= r.ICPMsgsPerReq {
+			t.Errorf("n=%d: summary cache (%.3f msgs/req) not below ICP (%.3f)",
+				r.Proxies, r.MsgsPerReq, r.ICPMsgsPerReq)
+		}
+	}
+	// ICP overhead grows with mesh size much faster than summary cache's.
+	icpGrowth := rows[1].ICPMsgsPerReq / rows[0].ICPMsgsPerReq
+	scGrowth := rows[1].MsgsPerReq / rows[0].MsgsPerReq
+	if icpGrowth <= scGrowth {
+		t.Errorf("ICP growth %.2f should exceed summary-cache growth %.2f", icpGrowth, scGrowth)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	ts := loadTest(t, tracegen.DEC)
+	st := TableI(ts)
+	if st.Name != "DEC" || st.Requests == 0 || st.MaxHitRatio <= 0 {
+		t.Fatalf("bad Table I row: %+v", st)
+	}
+}
+
+func TestSummaryRowLabel(t *testing.T) {
+	if (SummaryRow{Kind: sim.Bloom, LoadFactor: 8}).Label() != "bloom_8" {
+		t.Error("bloom label")
+	}
+	if (SummaryRow{Kind: sim.ICP}).Label() != "ICP" {
+		t.Error("ICP label")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	ts := loadTest(t, tracegen.UCB)
+	rows, err := Hierarchy(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	flat, parent := rows[0], rows[1]
+	if flat.WithParent || !parent.WithParent {
+		t.Fatal("row order broken")
+	}
+	if flat.ParentHitRatio != 0 {
+		t.Error("flat mesh recorded parent hits")
+	}
+	if parent.ParentHitRatio <= 0 {
+		t.Error("parent never hit")
+	}
+	if parent.OriginMissRate >= flat.OriginMissRate {
+		t.Errorf("parent did not reduce origin traffic: %.3f vs %.3f",
+			parent.OriginMissRate, flat.OriginMissRate)
+	}
+}
+
+func TestLoadFromRequests(t *testing.T) {
+	base := loadTest(t, tracegen.UPisa)
+	ts := LoadFromRequests("external", base.Requests, 8)
+	if ts.Name != "external" || ts.Groups != 8 {
+		t.Fatalf("bad trace set: %+v", ts)
+	}
+	if ts.Stats.Requests != base.Stats.Requests || ts.AvgDocBytes != base.AvgDocBytes {
+		t.Fatal("derived stats differ from Load")
+	}
+	if LoadFromRequests("x", nil, 0).Groups != 1 {
+		t.Fatal("zero groups not defaulted")
+	}
+	// The set must drive an experiment end to end.
+	if _, err := Fig2(ts, []float64{0.01}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,504 @@
+// Package httpproxy implements the caching Web proxy of the paper's
+// prototype experiments: an HTTP forward proxy with an LRU document cache
+// that can cooperate with sibling proxies in one of three modes — no
+// cooperation (the paper's "no-ICP" baseline), classic ICP (query every
+// sibling on every miss), or summary-cache enhanced ICP (probe the local
+// replicas of sibling summaries and query only promising siblings). It is
+// the Go analog of the paper's modified Squid.
+package httpproxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"summarycache/internal/core"
+	"summarycache/internal/icp"
+	"summarycache/internal/lru"
+)
+
+// Mode selects the cooperation protocol.
+type Mode int
+
+// The three configurations of Tables II, IV and V.
+const (
+	// ModeNone: proxies do not cooperate (the "no-ICP" rows).
+	ModeNone Mode = iota
+	// ModeICP: classic ICP — multicast a query to every sibling on every
+	// local miss (the "ICP" rows).
+	ModeICP
+	// ModeSCICP: summary-cache enhanced ICP (the "SC-ICP" rows).
+	ModeSCICP
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "no-ICP"
+	case ModeICP:
+		return "ICP"
+	case ModeSCICP:
+		return "SC-ICP"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// CacheOnlyPath is the sibling-fetch endpoint: it serves a document from
+// the cache without ever fetching on a miss, so sibling fetches cannot
+// recurse (a sibling proxy "can not ask a sibling proxy to fetch a
+// document from the server").
+const CacheOnlyPath = "/__summarycache/cacheonly"
+
+// ProxyPath is the explicit-form proxy endpoint for clients that do not
+// speak absolute-form HTTP: GET /__summarycache/proxy?url=<target>.
+const ProxyPath = "/__summarycache/proxy"
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// ListenAddr is the HTTP listen address (default "127.0.0.1:0").
+	ListenAddr string
+	// ICPAddr is the UDP listen address for ICP traffic (default
+	// "127.0.0.1:0"; unused in ModeNone).
+	ICPAddr string
+	// Mode selects the cooperation protocol.
+	Mode Mode
+	// CacheBytes is the document-cache capacity (the paper's benchmark
+	// gives each proxy 75 MB).
+	CacheBytes int64
+	// MaxObjectSize caps cacheable documents (0: the paper's 250 KB).
+	MaxObjectSize int64
+	// Summary configures the local directory summary (ModeSCICP).
+	Summary core.DirectoryConfig
+	// MinUpdateFlips forwards to core.NodeConfig.MinFlipsToPublish
+	// (ModeSCICP): 0 keeps the prototype's fill-an-IP-packet batching.
+	MinUpdateFlips int
+	// ParentURL, when set, routes misses through a parent proxy's
+	// ProxyPath endpoint instead of contacting origins directly — the
+	// hierarchical configuration of the paper's §VIII ("a proxy ... can
+	// ask a parent proxy to [fetch a document from the server]").
+	ParentURL string
+	// SingleCopy enables the paper's single-copy sharing scheme: a
+	// document served by a sibling is NOT cached locally ("a proxy does
+	// not cache documents fetched from another proxy"), conserving space
+	// at the cost of repeated sibling fetches. Default (false) is the
+	// ICP-style simple sharing the paper's prototype implements.
+	SingleCopy bool
+	// QueryTimeout bounds ICP query waits.
+	QueryTimeout time.Duration
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	ClientRequests uint64
+	LocalHits      uint64
+	RemoteHits     uint64 // misses served from a sibling cache
+	Misses         uint64 // served from the origin
+	OriginFetches  uint64
+	PeerFetches    uint64 // sibling cache-only fetches issued
+	// HTTPMessages approximates the paper's TCP packet accounting at the
+	// application level: every HTTP transaction is a request plus a
+	// response.
+	HTTPMessages uint64
+	// UDP mirrors the paper's netstat UDP counters (zero in ModeNone).
+	UDP icp.Stats
+	// Node carries summary-protocol counters (ModeSCICP only).
+	Node core.NodeStats
+}
+
+// Proxy is a running caching proxy.
+type Proxy struct {
+	cfg   Config
+	cache *lru.Cache
+
+	bodyMu sync.RWMutex
+	bodies map[string][]byte
+
+	node    *core.Node // ModeSCICP
+	icpConn *icp.Conn  // ModeICP
+
+	peerMu   sync.RWMutex
+	icpPeers []*net.UDPAddr
+	peerHTTP map[string]string // ICP addr string -> sibling HTTP base URL
+
+	ln     net.Listener
+	srv    *http.Server
+	client *http.Client
+
+	clientReqs, localHits, remoteHits, misses atomic.Uint64
+	originFetches, peerFetches                atomic.Uint64
+}
+
+// Start launches a proxy.
+func Start(cfg Config) (*Proxy, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.ICPAddr == "" {
+		cfg.ICPAddr = "127.0.0.1:0"
+	}
+	if cfg.CacheBytes <= 0 {
+		return nil, fmt.Errorf("httpproxy: CacheBytes must be positive, got %d", cfg.CacheBytes)
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = core.DefaultQueryTimeout
+	}
+	p := &Proxy{
+		cfg:      cfg,
+		bodies:   make(map[string][]byte),
+		peerHTTP: make(map[string]string),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+	cache, err := lru.New(cfg.CacheBytes, lru.Config{
+		MaxObjectSize: cfg.MaxObjectSize,
+		OnInsert:      p.onInsert,
+		OnEvict:       p.onEvict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.cache = cache
+
+	switch cfg.Mode {
+	case ModeNone:
+		// no protocol endpoint
+	case ModeICP:
+		conn, err := icp.Listen(cfg.ICPAddr, p.handleICP)
+		if err != nil {
+			return nil, err
+		}
+		p.icpConn = conn
+		conn.Start()
+	case ModeSCICP:
+		node, err := core.NewNode(core.NodeConfig{
+			ListenAddr:        cfg.ICPAddr,
+			Directory:         cfg.Summary,
+			HasDocument:       p.cache.Contains,
+			MinFlipsToPublish: cfg.MinUpdateFlips,
+			QueryTimeout:      cfg.QueryTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.node = node
+	default:
+		return nil, fmt.Errorf("httpproxy: unknown mode %v", cfg.Mode)
+	}
+
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		p.closeProtocol()
+		return nil, fmt.Errorf("httpproxy: listen %q: %w", cfg.ListenAddr, err)
+	}
+	p.ln = ln
+	p.srv = &http.Server{Handler: p}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+func (p *Proxy) closeProtocol() {
+	if p.icpConn != nil {
+		p.icpConn.Close()
+	}
+	if p.node != nil {
+		p.node.Close()
+	}
+}
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() error {
+	err := p.srv.Close()
+	p.closeProtocol()
+	return err
+}
+
+// URL returns the proxy's HTTP base URL.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// ICPAddr returns the proxy's ICP endpoint (nil in ModeNone).
+func (p *Proxy) ICPAddr() *net.UDPAddr {
+	switch p.cfg.Mode {
+	case ModeICP:
+		return p.icpConn.Addr()
+	case ModeSCICP:
+		return p.node.Addr()
+	}
+	return nil
+}
+
+// Mode returns the cooperation mode.
+func (p *Proxy) Mode() Mode { return p.cfg.Mode }
+
+// AddPeer registers a sibling by its ICP endpoint and HTTP base URL.
+func (p *Proxy) AddPeer(icpAddr *net.UDPAddr, httpURL string) error {
+	if p.cfg.Mode == ModeNone {
+		return errors.New("httpproxy: ModeNone proxies have no peers")
+	}
+	p.peerMu.Lock()
+	p.icpPeers = append(p.icpPeers, icpAddr)
+	p.peerHTTP[icpAddr.String()] = httpURL
+	p.peerMu.Unlock()
+	if p.cfg.Mode == ModeSCICP {
+		return p.node.AddPeer(icpAddr)
+	}
+	return nil
+}
+
+// Stats snapshots the counters.
+func (p *Proxy) Stats() Stats {
+	s := Stats{
+		ClientRequests: p.clientReqs.Load(),
+		LocalHits:      p.localHits.Load(),
+		RemoteHits:     p.remoteHits.Load(),
+		Misses:         p.misses.Load(),
+		OriginFetches:  p.originFetches.Load(),
+		PeerFetches:    p.peerFetches.Load(),
+	}
+	s.HTTPMessages = 2 * (s.ClientRequests + s.OriginFetches + s.PeerFetches)
+	switch p.cfg.Mode {
+	case ModeICP:
+		s.UDP = p.icpConn.Stats()
+	case ModeSCICP:
+		s.Node = p.node.Stats()
+		s.UDP = s.Node.UDP
+	}
+	return s
+}
+
+// CacheLen returns the number of cached documents (tests/diagnostics).
+func (p *Proxy) CacheLen() int { return p.cache.Len() }
+
+// FlushSummary forces publication of pending summary deltas (ModeSCICP).
+func (p *Proxy) FlushSummary() {
+	if p.node != nil {
+		p.node.PublishNow()
+	}
+}
+
+// --- cache body bookkeeping ---
+
+func (p *Proxy) onInsert(e lru.Entry) {
+	if p.node != nil {
+		p.node.HandleInsert(e.Key)
+	}
+}
+
+func (p *Proxy) onEvict(e lru.Entry, ev lru.Event) {
+	if ev == lru.EvictUpdated {
+		return
+	}
+	p.bodyMu.Lock()
+	delete(p.bodies, e.Key)
+	p.bodyMu.Unlock()
+	if p.node != nil {
+		p.node.HandleEvict(e.Key)
+	}
+}
+
+func (p *Proxy) cachedBody(key string) ([]byte, bool) {
+	if _, ok := p.cache.Get(key); !ok {
+		return nil, false
+	}
+	p.bodyMu.RLock()
+	body, ok := p.bodies[key]
+	p.bodyMu.RUnlock()
+	return body, ok
+}
+
+func (p *Proxy) storeBody(key string, version int64, body []byte) {
+	p.bodyMu.Lock()
+	p.bodies[key] = body
+	p.bodyMu.Unlock()
+	if !p.cache.Put(lru.Entry{Key: key, Size: int64(len(body)), Version: version}) {
+		// Uncacheable (too large): drop the body again.
+		p.bodyMu.Lock()
+		delete(p.bodies, key)
+		p.bodyMu.Unlock()
+	}
+}
+
+// --- ICP handling (ModeICP) ---
+
+func (p *Proxy) handleICP(from *net.UDPAddr, m icp.Message) {
+	if m.Op != icp.OpQuery {
+		return
+	}
+	op := icp.OpMiss
+	if p.cache.Contains(m.URL) {
+		op = icp.OpHit
+	}
+	_ = p.icpConn.Send(from, icp.NewReply(op, m.ReqNum, m.URL))
+}
+
+// --- HTTP serving ---
+
+// ServeHTTP implements http.Handler: absolute-form requests are proxied;
+// ProxyPath?url= is the explicit form; CacheOnlyPath?url= serves siblings.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == CacheOnlyPath:
+		p.serveCacheOnly(w, r)
+	case r.URL.Path == ProxyPath:
+		target := r.URL.Query().Get("url")
+		if target == "" {
+			http.Error(w, "missing url parameter", http.StatusBadRequest)
+			return
+		}
+		p.serveProxy(w, r, target)
+	case r.URL.IsAbs():
+		p.serveProxy(w, r, r.URL.String())
+	default:
+		http.Error(w, "not a proxy request", http.StatusBadRequest)
+	}
+}
+
+func (p *Proxy) serveCacheOnly(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("url")
+	body, ok := p.cachedBody(key)
+	if !ok {
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (p *Proxy) serveProxy(w http.ResponseWriter, r *http.Request, target string) {
+	p.clientReqs.Add(1)
+	if _, err := url.Parse(target); err != nil {
+		http.Error(w, "bad target url", http.StatusBadRequest)
+		return
+	}
+
+	if body, ok := p.cachedBody(target); ok {
+		p.localHits.Add(1)
+		writeDoc(w, body)
+		return
+	}
+
+	// Local miss: try siblings per the cooperation mode.
+	if body, ok := p.tryRemote(r.Context(), target); ok {
+		p.remoteHits.Add(1)
+		if !p.cfg.SingleCopy {
+			p.storeBody(target, 0, body) // simple sharing: cache the remote copy
+		}
+		writeDoc(w, body)
+		return
+	}
+
+	body, version, err := p.fetchOrigin(r.Context(), target)
+	if err != nil {
+		http.Error(w, "origin fetch failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	p.misses.Add(1)
+	p.storeBody(target, version, body)
+	writeDoc(w, body)
+}
+
+func writeDoc(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// tryRemote resolves a local miss against the siblings. It returns the
+// document when some sibling both claimed and delivered it.
+func (p *Proxy) tryRemote(ctx context.Context, target string) ([]byte, bool) {
+	switch p.cfg.Mode {
+	case ModeICP:
+		p.peerMu.RLock()
+		peers := append([]*net.UDPAddr(nil), p.icpPeers...)
+		p.peerMu.RUnlock()
+		if len(peers) == 0 {
+			return nil, false
+		}
+		qctx, cancel := context.WithTimeout(ctx, p.cfg.QueryTimeout)
+		defer cancel()
+		hit, from, err := p.icpConn.QueryAll(qctx, peers, target)
+		if err != nil || !hit {
+			return nil, false
+		}
+		return p.fetchPeer(ctx, from, target)
+	case ModeSCICP:
+		from, _, err := p.node.Lookup(ctx, target)
+		if err != nil || from == nil {
+			return nil, false
+		}
+		return p.fetchPeer(ctx, from, target)
+	}
+	return nil, false
+}
+
+func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string) ([]byte, bool) {
+	p.peerMu.RLock()
+	base := p.peerHTTP[peer.String()]
+	p.peerMu.RUnlock()
+	if base == "" {
+		return nil, false
+	}
+	p.peerFetches.Add(1)
+	u := base + CacheOnlyPath + "?url=" + url.QueryEscape(target)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false // race: sibling evicted it (a false hit after all)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+func (p *Proxy) fetchOrigin(ctx context.Context, target string) (body []byte, version int64, err error) {
+	p.originFetches.Add(1)
+	fetchURL := target
+	if p.cfg.ParentURL != "" {
+		fetchURL = p.cfg.ParentURL + ProxyPath + "?url=" + url.QueryEscape(target)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fetchURL, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("origin status %d", resp.StatusCode)
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+		version, _ = strconv.ParseInt(v, 10, 64)
+	}
+	return body, version, nil
+}

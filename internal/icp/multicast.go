@@ -1,0 +1,106 @@
+package icp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MulticastGroup is a shared unreliable-delivery channel for directory
+// updates: the paper observes that "update messages can be transferred via
+// a nonreliable multicast scheme" because the absolute bit-flip records
+// tolerate loss. One DIRUPDATE datagram to the group replaces N−1
+// unicasts.
+//
+// Senders transmit from their ordinary unicast Conn (so receivers identify
+// the origin proxy by source address); MulticastGroup only *receives*.
+type MulticastGroup struct {
+	pc      *net.UDPConn
+	group   *net.UDPAddr
+	handler Handler
+
+	recv, recvB, dropped atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// ErrNotMulticast reports a group address outside the multicast range.
+var ErrNotMulticast = errors.New("icp: address is not multicast")
+
+// JoinMulticast joins group (e.g. "239.255.77.77:4827") on the given
+// interface (nil: system default) and delivers every decoded message to
+// handler along with its source address. The caller typically ignores
+// messages whose source is itself.
+func JoinMulticast(group string, ifi *net.Interface, handler Handler) (*MulticastGroup, error) {
+	ga, err := net.ResolveUDPAddr("udp", group)
+	if err != nil {
+		return nil, fmt.Errorf("icp: resolve group %q: %w", group, err)
+	}
+	if !ga.IP.IsMulticast() {
+		return nil, fmt.Errorf("%w: %v", ErrNotMulticast, ga.IP)
+	}
+	pc, err := net.ListenMulticastUDP("udp", ifi, ga)
+	if err != nil {
+		return nil, fmt.Errorf("icp: join %q: %w", group, err)
+	}
+	m := &MulticastGroup{pc: pc, group: ga, handler: handler, done: make(chan struct{})}
+	go m.readLoop()
+	return m, nil
+}
+
+// Group returns the group address (the destination senders use).
+func (m *MulticastGroup) Group() *net.UDPAddr { return m.group }
+
+// Stats reports receive-side counters.
+func (m *MulticastGroup) Stats() Stats {
+	return Stats{Received: m.recv.Load(), RecvBytes: m.recvB.Load(), Dropped: m.dropped.Load()}
+}
+
+// Close leaves the group.
+func (m *MulticastGroup) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.pc.Close()
+	<-m.done
+	return err
+}
+
+func (m *MulticastGroup) readLoop() {
+	defer close(m.done)
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, from, err := m.pc.ReadFromUDP(buf)
+		if err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		m.recv.Add(1)
+		m.recvB.Add(uint64(n))
+		msg, err := Parse(buf[:n])
+		if err != nil {
+			m.dropped.Add(1)
+			continue
+		}
+		if m.handler != nil {
+			m.handler(from, msg)
+		}
+	}
+}

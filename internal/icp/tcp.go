@@ -1,0 +1,225 @@
+package icp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Directory updates can be large ("on the order of several hundreds KB"
+// for full summaries), and the paper notes that "due to the size of these
+// messages, it is perhaps better to send them via TCP ... since the
+// collection of cooperating proxies is relatively static, the proxies can
+// just maintain a permanent TCP connection with each other to exchange
+// update messages". This file provides that channel: ICP messages framed
+// over persistent TCP connections.
+//
+// Framing: a 4-byte big-endian length followed by the standard encoded
+// ICP message. MaxDatagram bounds a frame, like the UDP path.
+
+// frameHeaderLen is the length prefix size.
+const frameHeaderLen = 4
+
+// ErrFrameTooLarge reports an oversized frame on the TCP channel.
+var ErrFrameTooLarge = errors.New("icp: TCP frame exceeds maximum message size")
+
+// WriteFrame writes one framed message to w.
+func WriteFrame(w io.Writer, m Message) (int, error) {
+	buf := make([]byte, frameHeaderLen, frameHeaderLen+m.EncodedLen())
+	buf, err := m.Append(buf)
+	if err != nil {
+		return 0, err
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-frameHeaderLen))
+	return w.Write(buf)
+}
+
+// ReadFrame reads one framed message from r.
+func ReadFrame(r io.Reader) (Message, int, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxDatagram {
+		return Message{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, 0, err
+	}
+	m, err := Parse(body)
+	return m, frameHeaderLen + int(n), err
+}
+
+// TCPServer accepts persistent update connections and delivers each framed
+// message to the handler with the remote address.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+
+	recv, recvB, dropped atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// ListenTCP starts an update-channel server on addr.
+func ListenTCP(addr string, handler Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("icp: tcp listen %q: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats reports receive counters.
+func (s *TCPServer) Stats() Stats {
+	return Stats{Received: s.recv.Load(), RecvBytes: s.recvB.Load(), Dropped: s.dropped.Load()}
+}
+
+// Close stops accepting and closes all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *TCPServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *TCPServer) serve(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	from, _ := conn.RemoteAddr().(*net.TCPAddr)
+	udpFrom := &net.UDPAddr{}
+	if from != nil {
+		udpFrom = &net.UDPAddr{IP: from.IP, Port: from.Port}
+	}
+	for {
+		m, n, err := ReadFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.dropped.Add(1)
+			}
+			return
+		}
+		s.recv.Add(1)
+		s.recvB.Add(uint64(n))
+		if s.handler != nil {
+			s.handler(udpFrom, m)
+		}
+	}
+}
+
+// TCPClient maintains one persistent connection to a peer's update
+// channel, reconnecting lazily after failures.
+type TCPClient struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	sent, sentB, reconnects atomic.Uint64
+}
+
+// NewTCPClient prepares a client for the peer's update address; the
+// connection is established on first Send.
+func NewTCPClient(addr string, dialTimeout time.Duration) *TCPClient {
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	return &TCPClient{addr: addr, timeout: dialTimeout}
+}
+
+// Addr returns the peer address.
+func (c *TCPClient) Addr() string { return c.addr }
+
+// Stats reports send counters; Dropped counts reconnects.
+func (c *TCPClient) Stats() Stats {
+	return Stats{Sent: c.sent.Load(), SentBytes: c.sentB.Load(), Dropped: c.reconnects.Load()}
+}
+
+// Send transmits one framed message, dialing or redialing as needed. One
+// retry covers a connection that went stale between sends.
+func (c *TCPClient) Send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+			if err != nil {
+				return fmt.Errorf("icp: dial %s: %w", c.addr, err)
+			}
+			c.conn = conn
+			if attempt > 0 {
+				c.reconnects.Add(1)
+			}
+		}
+		n, err := WriteFrame(c.conn, m)
+		if err == nil {
+			c.sent.Add(1)
+			c.sentB.Add(uint64(n))
+			return nil
+		}
+		c.conn.Close()
+		c.conn = nil
+		if attempt == 1 {
+			return fmt.Errorf("icp: send to %s: %w", c.addr, err)
+		}
+	}
+	return nil
+}
+
+// Close drops the connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package icp
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"summarycache/internal/bloom"
+	"summarycache/internal/hashing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		NewQuery(1, "http://a/"),
+		NewDirUpdate(2, hashing.DefaultSpec, 4096, []bloom.Flip{{Index: 7, Set: true}}),
+		NewReply(OpHit, 3, "http://b/"),
+	}
+	for _, m := range msgs {
+		if _, err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, _, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ReqNum != want.ReqNum || got.URL != want.URL {
+			t.Fatalf("frame %d: got %+v", i, got)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFrameOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("accepted oversize frame")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewQuery(1, "http://a/")
+	if _, err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(short)); err == nil {
+		t.Fatal("accepted truncated frame")
+	}
+}
+
+func TestTCPServerClient(t *testing.T) {
+	var mu sync.Mutex
+	var got []Message
+	srv, err := ListenTCP("127.0.0.1:0", func(from *net.UDPAddr, m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewTCPClient(srv.Addr().String(), time.Second)
+	defer cli.Close()
+
+	flips := []bloom.Flip{{Index: 1, Set: true}, {Index: 9, Set: false}}
+	for i := 0; i < 10; i++ {
+		if err := cli.Send(NewDirUpdate(uint32(i), hashing.DefaultSpec, 1024, flips)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 10 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 10 {
+		t.Fatalf("server received %d messages, want 10", len(got))
+	}
+	for i, m := range got {
+		if m.Op != OpDirUpdate || m.ReqNum != uint32(i) || len(m.Update.Flips) != 2 {
+			t.Fatalf("message %d mangled: %+v", i, m)
+		}
+	}
+	if cli.Stats().Sent != 10 {
+		t.Fatalf("client stats: %+v", cli.Stats())
+	}
+	if srv.Stats().Received != 10 {
+		t.Fatalf("server stats: %+v", srv.Stats())
+	}
+}
+
+// The client must survive a server restart on the same port (the paper's
+// "permanent TCP connection" still has to handle proxy restarts).
+func TestTCPClientReconnect(t *testing.T) {
+	received := make(chan Message, 16)
+	handler := func(_ *net.UDPAddr, m Message) { received <- m }
+	srv, err := ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	cli := NewTCPClient(addr, time.Second)
+	defer cli.Close()
+
+	if err := cli.Send(NewQuery(1, "http://pre/")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-received:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first message not delivered")
+	}
+
+	srv.Close()
+	// Restart on the same port.
+	srv2, err := ListenTCP(addr, handler)
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer srv2.Close()
+
+	// The stale connection fails once; Send retries with a fresh dial.
+	// Depending on timing the kernel may accept one write into a dead
+	// socket, so allow a couple of attempts.
+	var delivered bool
+	for i := 0; i < 5 && !delivered; i++ {
+		if err := cli.Send(NewQuery(uint32(2+i), "http://post/")); err != nil {
+			continue
+		}
+		select {
+		case <-received:
+			delivered = true
+		case <-time.After(300 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("client did not recover after server restart")
+	}
+}
+
+func TestTCPClientDialFailure(t *testing.T) {
+	cli := NewTCPClient("127.0.0.1:1", 100*time.Millisecond)
+	defer cli.Close()
+	if err := cli.Send(NewQuery(1, "http://x/")); err == nil {
+		t.Fatal("send to dead address succeeded")
+	}
+}
+
+func TestTCPServerDoubleClose(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}
+
+// Large full-state updates (hundreds of KB, the paper's concern) must
+// traverse the TCP channel intact.
+func TestTCPLargeUpdate(t *testing.T) {
+	received := make(chan Message, 1)
+	srv, err := ListenTCP("127.0.0.1:0", func(_ *net.UDPAddr, m Message) { received <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewTCPClient(srv.Addr().String(), time.Second)
+	defer cli.Close()
+
+	flips := make([]bloom.Flip, MaxFlipsPerMessage)
+	for i := range flips {
+		flips[i] = bloom.Flip{Index: uint32(i), Set: i%2 == 0}
+	}
+	if err := cli.Send(NewDirUpdate(1, hashing.DefaultSpec, 1<<26, flips)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-received:
+		if len(m.Update.Flips) != len(flips) {
+			t.Fatalf("received %d flips, want %d", len(m.Update.Flips), len(flips))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("large update not delivered")
+	}
+}

@@ -1,0 +1,290 @@
+package icp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts datagrams through a Conn; the networked benchmark's analog
+// of the paper's netstat UDP counters.
+type Stats struct {
+	Sent      uint64
+	Received  uint64
+	SentBytes uint64
+	RecvBytes uint64
+	Dropped   uint64 // undecodable or unroutable datagrams
+}
+
+// Handler consumes unsolicited inbound messages (queries from peers,
+// directory updates). Replies to in-flight queries are routed internally
+// and never reach the handler. Handlers run on the receive goroutine;
+// blocking ones stall the socket.
+type Handler func(from *net.UDPAddr, m Message)
+
+// ErrClosed is returned by operations on a closed Conn.
+var ErrClosed = errors.New("icp: connection closed")
+
+// Conn is an ICP endpoint over UDP: it serves peer queries via a Handler
+// and issues queries with request-number matching and timeouts.
+type Conn struct {
+	pc      *net.UDPConn
+	handler Handler
+
+	sent, recv, sentB, recvB, dropped atomic.Uint64
+	nextReq                           atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan Message
+	closed  bool
+	started bool
+	done    chan struct{}
+}
+
+// Listen opens an ICP endpoint on addr ("127.0.0.1:0" for an ephemeral
+// test port) with handler (which may be nil to ignore unsolicited
+// traffic). The receive loop does NOT run until Start is called: callers
+// typically finish wiring the state their handler closes over first —
+// starting to serve inside the constructor would race with those
+// assignments.
+func Listen(addr string, handler Handler) (*Conn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("icp: resolve %q: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("icp: listen %q: %w", addr, err)
+	}
+	c := &Conn{
+		pc:      pc,
+		handler: handler,
+		pending: make(map[uint32]chan Message),
+		done:    make(chan struct{}),
+	}
+	return c, nil
+}
+
+// Start begins the receive loop. It must be called exactly once, after the
+// handler's dependencies are fully initialized. Datagrams arriving before
+// Start sit in the socket buffer and are processed once it runs.
+func (c *Conn) Start() {
+	c.mu.Lock()
+	if c.started || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	go c.readLoop()
+}
+
+// Addr returns the bound UDP address.
+func (c *Conn) Addr() *net.UDPAddr { return c.pc.LocalAddr().(*net.UDPAddr) }
+
+// Stats snapshots the traffic counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		Sent:      c.sent.Load(),
+		Received:  c.recv.Load(),
+		SentBytes: c.sentB.Load(),
+		RecvBytes: c.recvB.Load(),
+		Dropped:   c.dropped.Load(),
+	}
+}
+
+// Close shuts the endpoint down and fails all in-flight queries.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for _, ch := range c.pending {
+		close(ch)
+	}
+	c.pending = make(map[uint32]chan Message)
+	started := c.started
+	c.mu.Unlock()
+	err := c.pc.Close()
+	if started {
+		<-c.done
+	}
+	return err
+}
+
+// Send encodes and transmits m to the peer.
+func (c *Conn) Send(to *net.UDPAddr, m Message) error {
+	buf, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	n, err := c.pc.WriteToUDP(buf, to)
+	if err != nil {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return fmt.Errorf("icp: send to %v: %w", to, err)
+	}
+	c.sent.Add(1)
+	c.sentB.Add(uint64(n))
+	return nil
+}
+
+// NextReqNum returns a fresh request number.
+func (c *Conn) NextReqNum() uint32 { return c.nextReq.Add(1) }
+
+// Query sends an ICP query for url to the peer and waits for its reply
+// (HIT, MISS, MISS_NOFETCH, DENIED or ERR) until ctx is done. A lost
+// datagram surfaces as ctx expiry — the caller treats it as a miss,
+// exactly as Squid does.
+func (c *Conn) Query(ctx context.Context, to *net.UDPAddr, url string) (Message, error) {
+	reqNum := c.NextReqNum()
+	ch := make(chan Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	c.pending[reqNum] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, reqNum)
+		c.mu.Unlock()
+	}()
+
+	if err := c.Send(to, NewQuery(reqNum, url)); err != nil {
+		return Message{}, err
+	}
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return Message{}, ErrClosed
+		}
+		return m, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// QueryAll queries several peers concurrently and returns the first HIT,
+// or the last non-hit reply when none hits (zero Message if every peer
+// timed out). It implements the ICP multicast-query/first-hit pattern.
+func (c *Conn) QueryAll(ctx context.Context, peers []*net.UDPAddr, url string) (hit bool, from *net.UDPAddr, err error) {
+	if len(peers) == 0 {
+		return false, nil, nil
+	}
+	type result struct {
+		m    Message
+		from *net.UDPAddr
+		err  error
+	}
+	ch := make(chan result, len(peers))
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, p := range peers {
+		go func(p *net.UDPAddr) {
+			m, err := c.Query(cctx, p, url)
+			ch <- result{m, p, err}
+		}(p)
+	}
+	var lastErr error
+	for range peers {
+		r := <-ch
+		if r.err != nil {
+			lastErr = r.err
+			continue
+		}
+		if r.m.Op == OpHit || r.m.Op == OpHitObj {
+			return true, r.from, nil
+		}
+	}
+	if errors.Is(lastErr, context.Canceled) || errors.Is(lastErr, context.DeadlineExceeded) {
+		lastErr = nil // timeouts are ordinary misses
+	}
+	return false, nil, lastErr
+}
+
+func (c *Conn) readLoop() {
+	defer close(c.done)
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, from, err := c.pc.ReadFromUDP(buf)
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			// Socket gone for another reason: stop the loop.
+			return
+		}
+		c.recv.Add(1)
+		c.recvB.Add(uint64(n))
+		m, err := Parse(buf[:n])
+		if err != nil {
+			c.dropped.Add(1)
+			continue
+		}
+		if isReply(m.Op) {
+			c.mu.Lock()
+			ch := c.pending[m.ReqNum]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- m:
+				default:
+				}
+				continue
+			}
+			// Late reply after timeout: drop silently.
+			c.dropped.Add(1)
+			continue
+		}
+		if c.handler != nil {
+			c.handler(from, m)
+		}
+	}
+}
+
+func isReply(op Opcode) bool {
+	switch op {
+	case OpHit, OpMiss, OpMissNoFetch, OpDenied, OpErr, OpHitObj:
+		return true
+	}
+	return false
+}
+
+// WaitSettled polls until no datagrams arrive for the quiet duration or
+// the deadline passes; tests use it to avoid sleeping fixed amounts.
+func (c *Conn) WaitSettled(quiet, deadline time.Duration) {
+	end := time.Now().Add(deadline)
+	last := c.recv.Load()
+	lastChange := time.Now()
+	for time.Now().Before(end) {
+		time.Sleep(quiet / 4)
+		cur := c.recv.Load()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) >= quiet {
+			return
+		}
+	}
+}

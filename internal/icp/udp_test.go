@@ -1,0 +1,290 @@
+package icp
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"summarycache/internal/bloom"
+	"summarycache/internal/hashing"
+)
+
+// echoResponder answers queries with HIT for URLs in its set, MISS
+// otherwise.
+func echoResponder(t *testing.T, hits map[string]bool) *Conn {
+	t.Helper()
+	var c *Conn
+	var err error
+	c, err = Listen("127.0.0.1:0", func(from *net.UDPAddr, m Message) {
+		if m.Op != OpQuery {
+			return
+		}
+		op := OpMiss
+		if hits[m.URL] {
+			op = OpHit
+		}
+		if err := c.Send(from, NewReply(op, m.ReqNum, m.URL)); err != nil {
+			t.Logf("reply failed: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func client(t *testing.T) *Conn {
+	t.Helper()
+	c, err := Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestQueryHitMiss(t *testing.T) {
+	srv := echoResponder(t, map[string]bool{"http://hit/": true})
+	cli := client(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	m, err := cli.Query(ctx, srv.Addr(), "http://hit/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpHit || m.URL != "http://hit/" {
+		t.Fatalf("got %+v, want HIT", m)
+	}
+	m, err = cli.Query(ctx, srv.Addr(), "http://miss/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpMiss {
+		t.Fatalf("got %+v, want MISS", m)
+	}
+	st := cli.Stats()
+	if st.Sent != 2 || st.Received != 2 {
+		t.Fatalf("client stats = %+v, want 2 sent / 2 received", st)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	// A peer that never answers: queries must fail with ctx expiry.
+	silent, err := Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent.Start()
+	defer silent.Close()
+	cli := client(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Query(ctx, silent.Addr(), "http://x/"); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestQueryAll(t *testing.T) {
+	miss1 := echoResponder(t, nil)
+	miss2 := echoResponder(t, nil)
+	hitSrv := echoResponder(t, map[string]bool{"http://doc/": true})
+	cli := client(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	hit, from, err := cli.QueryAll(ctx, []*net.UDPAddr{miss1.Addr(), hitSrv.Addr(), miss2.Addr()}, "http://doc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || from.Port != hitSrv.Addr().Port {
+		t.Fatalf("hit=%v from=%v, want hit from %v", hit, from, hitSrv.Addr())
+	}
+
+	hit, _, err = cli.QueryAll(ctx, []*net.UDPAddr{miss1.Addr(), miss2.Addr()}, "http://doc/")
+	if err != nil || hit {
+		t.Fatalf("hit=%v err=%v, want miss", hit, err)
+	}
+
+	// No peers: trivially a miss.
+	hit, _, err = cli.QueryAll(ctx, nil, "http://doc/")
+	if err != nil || hit {
+		t.Fatal("empty peer set should be a clean miss")
+	}
+}
+
+func TestQueryAllTimeoutsAreMisses(t *testing.T) {
+	silent, err := Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent.Start()
+	defer silent.Close()
+	cli := client(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	hit, _, err := cli.QueryAll(ctx, []*net.UDPAddr{silent.Addr()}, "http://x/")
+	if err != nil {
+		t.Fatalf("timeout should be a miss, got error %v", err)
+	}
+	if hit {
+		t.Fatal("silent peer produced a hit")
+	}
+}
+
+func TestDirUpdateDelivery(t *testing.T) {
+	var mu sync.Mutex
+	received := bloom.MustNewFilter(1<<12, hashing.DefaultSpec)
+	gotUpdate := make(chan struct{}, 16)
+	srv, err := Listen("127.0.0.1:0", func(from *net.UDPAddr, m Message) {
+		if m.Op != OpDirUpdate || m.Update == nil {
+			return
+		}
+		mu.Lock()
+		if err := received.Apply(m.Update.Flips); err != nil {
+			t.Errorf("apply: %v", err)
+		}
+		mu.Unlock()
+		gotUpdate <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+	cli := client(t)
+
+	// Build a local directory and ship its journal in chunks.
+	counting := bloom.MustNewCountingFilter(1<<12, 4, hashing.DefaultSpec)
+	var journal []bloom.Flip
+	urls := []string{"http://a/", "http://b/", "http://c/"}
+	for _, u := range urls {
+		journal = counting.Add(u, journal)
+	}
+	msgs := SplitUpdate(1, hashing.DefaultSpec, 1<<12, journal, 5)
+	for _, m := range msgs {
+		if err := cli.Send(srv.Addr(), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range msgs {
+		select {
+		case <-gotUpdate:
+		case <-time.After(2 * time.Second):
+			t.Fatal("update not delivered")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, u := range urls {
+		if !received.Test(u) {
+			t.Fatalf("receiver filter missing %s", u)
+		}
+	}
+}
+
+func TestGarbageDatagramCounted(t *testing.T) {
+	srv := echoResponder(t, nil)
+	raw, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("not icp")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().Dropped >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("garbage not counted as dropped: %+v", srv.Stats())
+}
+
+func TestClosedConnOperations(t *testing.T) {
+	c, err := Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	addr := c.Addr()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	ctx := context.Background()
+	if _, err := c.Query(ctx, addr, "http://x/"); err != ErrClosed {
+		t.Fatalf("query on closed conn: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseFailsInflightQueries(t *testing.T) {
+	silent, err := Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent.Start()
+	defer silent.Close()
+	cli, err := Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Start()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.Query(context.Background(), silent.Addr(), "http://x/")
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the query register
+	cli.Close()
+	select {
+	case err := <-errCh:
+		if err != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight query not released by Close")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	srv := echoResponder(t, map[string]bool{"http://hot/": true})
+	cli := client(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := "http://miss/"
+			wantHit := i%2 == 0
+			if wantHit {
+				url = "http://hot/"
+			}
+			m, err := cli.Query(ctx, srv.Addr(), url)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if wantHit != (m.Op == OpHit) {
+				t.Errorf("url %s: op %v", url, m.Op)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package icp implements version 2 of the Internet Cache Protocol
+// (RFC 2186) — the query/reply protocol Squid proxies use to discover
+// remote cache hits — extended with the paper's ICP_OP_DIRUPDATE opcode
+// (§VI-A) that carries summary-cache directory updates: a header fully
+// specifying the Bloom hash functions followed by a stream of absolute
+// bit-flip records, so updates tolerate loss and reordering over UDP.
+//
+// The wire layout is the RFC's 20-byte header:
+//
+//	Opcode(1) Version(1) MessageLength(2) RequestNumber(4)
+//	Options(4) OptionData(4) SenderHostAddress(4)
+//
+// followed by an opcode-specific payload. The DIRUPDATE payload is the
+// paper's extension header — FunctionNum(2) FunctionBits(2)
+// BitArraySizeInBits(4) NumberOfUpdates(4) — followed by NumberOfUpdates
+// 32-bit words whose most significant bit selects set-vs-clear and whose
+// low 31 bits index the peer's bit array.
+package icp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"summarycache/internal/bloom"
+	"summarycache/internal/hashing"
+)
+
+// Opcode is an ICP operation code.
+type Opcode uint8
+
+// RFC 2186 opcodes plus the paper's directory-update extension.
+const (
+	OpInvalid     Opcode = 0
+	OpQuery       Opcode = 1
+	OpHit         Opcode = 2
+	OpMiss        Opcode = 3
+	OpErr         Opcode = 4
+	OpSEcho       Opcode = 10
+	OpDEcho       Opcode = 11
+	OpMissNoFetch Opcode = 21
+	OpDenied      Opcode = 22
+	OpHitObj      Opcode = 23
+	// OpDirUpdate is the summary-cache extension ("We added a new opcode
+	// in ICP version 2, ICP_OP_DIRUPDATE, which stands for directory
+	// update messages"). The paper assigns no number; we use 32, above the
+	// RFC-defined range.
+	OpDirUpdate Opcode = 32
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpInvalid:
+		return "INVALID"
+	case OpQuery:
+		return "QUERY"
+	case OpHit:
+		return "HIT"
+	case OpMiss:
+		return "MISS"
+	case OpErr:
+		return "ERR"
+	case OpSEcho:
+		return "SECHO"
+	case OpDEcho:
+		return "DECHO"
+	case OpMissNoFetch:
+		return "MISS_NOFETCH"
+	case OpDenied:
+		return "DENIED"
+	case OpHitObj:
+		return "HIT_OBJ"
+	case OpDirUpdate:
+		return "DIRUPDATE"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Version is the protocol version this package speaks.
+const Version = 2
+
+// OptionFullUpdate, set in a DIRUPDATE's Options field, announces that the
+// message (stream) carries the sender's complete filter state: the
+// receiver must reset its replica before applying. Senders use it to
+// bootstrap a new neighbor or reinitialize a recovered one.
+const OptionFullUpdate uint32 = 1 << 0
+
+// HeaderLen is the fixed ICP header size.
+const HeaderLen = 20
+
+// DirUpdateHeaderLen is the paper's extension header size (after the ICP
+// header). 20 + 12 = the 32-byte update header of the paper's Fig. 8 cost
+// model.
+const DirUpdateHeaderLen = 12
+
+// MaxDatagram bounds an encoded message: the maximum UDP payload over
+// IPv4 (65535 − 8 UDP − 20 IP), which also keeps the 16-bit ICP message
+// length field valid.
+const MaxDatagram = 65507
+
+// MaxFlipsPerMessage is the most flip records one DIRUPDATE datagram holds.
+const MaxFlipsPerMessage = (MaxDatagram - HeaderLen - DirUpdateHeaderLen) / 4
+
+// Wire format errors.
+var (
+	ErrTruncated    = errors.New("icp: truncated message")
+	ErrBadVersion   = errors.New("icp: unsupported version")
+	ErrBadLength    = errors.New("icp: message length mismatch")
+	ErrTooLarge     = errors.New("icp: message exceeds maximum datagram")
+	ErrBadURL       = errors.New("icp: URL missing NUL terminator")
+	ErrFlipRange    = errors.New("icp: flip index exceeds 31 bits")
+	ErrNotDirUpdate = errors.New("icp: message carries no directory update")
+)
+
+// DirUpdate is the decoded payload of an OpDirUpdate message.
+type DirUpdate struct {
+	Spec hashing.Spec // hash family (FunctionNum, FunctionBits)
+	Bits uint32       // peer's bit-array size in bits
+	// Flips are absolute set/clear records; applying them to a
+	// same-geometry bloom.Filter is idempotent, which is what lets these
+	// ride an unreliable transport.
+	Flips []bloom.Flip
+}
+
+// Message is one ICP datagram.
+type Message struct {
+	Op         Opcode
+	Version    uint8
+	ReqNum     uint32
+	Options    uint32
+	OptionData uint32
+	SenderAddr uint32
+
+	// URL is the query/reply subject (OpQuery, OpHit, OpMiss, ...).
+	URL string
+	// RequesterAddr is the extra host field carried by OpQuery payloads.
+	RequesterAddr uint32
+	// Update is the OpDirUpdate payload.
+	Update *DirUpdate
+}
+
+// NewQuery builds a query for url.
+func NewQuery(reqNum uint32, url string) Message {
+	return Message{Op: OpQuery, Version: Version, ReqNum: reqNum, URL: url}
+}
+
+// NewReply builds a HIT/MISS-style reply echoing a query's request number
+// and URL.
+func NewReply(op Opcode, reqNum uint32, url string) Message {
+	return Message{Op: op, Version: Version, ReqNum: reqNum, URL: url}
+}
+
+// NewDirUpdate builds a directory-update message.
+func NewDirUpdate(reqNum uint32, spec hashing.Spec, bits uint32, flips []bloom.Flip) Message {
+	return Message{
+		Op: OpDirUpdate, Version: Version, ReqNum: reqNum,
+		Update: &DirUpdate{Spec: spec, Bits: bits, Flips: flips},
+	}
+}
+
+// hasURLPayload reports whether op carries a NUL-terminated URL payload.
+func hasURLPayload(op Opcode) bool {
+	switch op {
+	case OpQuery, OpHit, OpMiss, OpMissNoFetch, OpDenied, OpErr, OpSEcho, OpDEcho, OpHitObj:
+		return true
+	}
+	return false
+}
+
+// EncodedLen returns the encoded size of m in bytes.
+func (m Message) EncodedLen() int {
+	n := HeaderLen
+	switch {
+	case m.Op == OpDirUpdate && m.Update != nil:
+		n += DirUpdateHeaderLen + 4*len(m.Update.Flips)
+	case m.Op == OpQuery:
+		n += 4 + len(m.URL) + 1
+	case hasURLPayload(m.Op):
+		n += len(m.URL) + 1
+	}
+	return n
+}
+
+// Append encodes m onto dst and returns the extended slice.
+func (m Message) Append(dst []byte) ([]byte, error) {
+	total := m.EncodedLen()
+	if total > MaxDatagram {
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, total)
+	}
+	v := m.Version
+	if v == 0 {
+		v = Version
+	}
+	dst = append(dst, byte(m.Op), v)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = binary.BigEndian.AppendUint32(dst, m.ReqNum)
+	dst = binary.BigEndian.AppendUint32(dst, m.Options)
+	dst = binary.BigEndian.AppendUint32(dst, m.OptionData)
+	dst = binary.BigEndian.AppendUint32(dst, m.SenderAddr)
+	switch {
+	case m.Op == OpDirUpdate && m.Update != nil:
+		u := m.Update
+		dst = binary.BigEndian.AppendUint16(dst, uint16(u.Spec.FunctionNum))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(u.Spec.FunctionBits))
+		dst = binary.BigEndian.AppendUint32(dst, u.Bits)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(u.Flips)))
+		for _, f := range u.Flips {
+			if f.Index >= 1<<31 {
+				return dst, fmt.Errorf("%w: %d", ErrFlipRange, f.Index)
+			}
+			w := f.Index
+			if f.Set {
+				w |= 1 << 31
+			}
+			dst = binary.BigEndian.AppendUint32(dst, w)
+		}
+	case m.Op == OpQuery:
+		dst = binary.BigEndian.AppendUint32(dst, m.RequesterAddr)
+		dst = append(dst, m.URL...)
+		dst = append(dst, 0)
+	case hasURLPayload(m.Op):
+		dst = append(dst, m.URL...)
+		dst = append(dst, 0)
+	}
+	return dst, nil
+}
+
+// MarshalBinary encodes m.
+func (m Message) MarshalBinary() ([]byte, error) {
+	return m.Append(make([]byte, 0, m.EncodedLen()))
+}
+
+// Parse decodes one datagram.
+func Parse(b []byte) (Message, error) {
+	var m Message
+	if len(b) < HeaderLen {
+		return m, ErrTruncated
+	}
+	m.Op = Opcode(b[0])
+	m.Version = b[1]
+	if m.Version != Version {
+		return m, fmt.Errorf("%w: %d", ErrBadVersion, m.Version)
+	}
+	msgLen := int(binary.BigEndian.Uint16(b[2:4]))
+	// A 16-bit length field cannot express datagrams above 64 KiB; such
+	// messages are rejected at encode time.
+	if msgLen != len(b) {
+		return m, fmt.Errorf("%w: header says %d, datagram is %d", ErrBadLength, msgLen, len(b))
+	}
+	m.ReqNum = binary.BigEndian.Uint32(b[4:8])
+	m.Options = binary.BigEndian.Uint32(b[8:12])
+	m.OptionData = binary.BigEndian.Uint32(b[12:16])
+	m.SenderAddr = binary.BigEndian.Uint32(b[16:20])
+	body := b[HeaderLen:]
+	switch {
+	case m.Op == OpDirUpdate:
+		if len(body) < DirUpdateHeaderLen {
+			return m, ErrTruncated
+		}
+		u := &DirUpdate{
+			Spec: hashing.Spec{
+				FunctionNum:  int(binary.BigEndian.Uint16(body[0:2])),
+				FunctionBits: int(binary.BigEndian.Uint16(body[2:4])),
+			},
+			Bits: binary.BigEndian.Uint32(body[4:8]),
+		}
+		n := int(binary.BigEndian.Uint32(body[8:12]))
+		rest := body[DirUpdateHeaderLen:]
+		if len(rest) != 4*n {
+			return m, fmt.Errorf("%w: %d flip records declared, %d bytes present", ErrBadLength, n, len(rest))
+		}
+		u.Flips = make([]bloom.Flip, n)
+		for i := 0; i < n; i++ {
+			w := binary.BigEndian.Uint32(rest[4*i:])
+			u.Flips[i] = bloom.Flip{Index: w &^ (1 << 31), Set: w&(1<<31) != 0}
+		}
+		m.Update = u
+	case m.Op == OpQuery:
+		if len(body) < 5 {
+			return m, ErrTruncated
+		}
+		m.RequesterAddr = binary.BigEndian.Uint32(body[0:4])
+		url, err := cutNUL(body[4:])
+		if err != nil {
+			return m, err
+		}
+		m.URL = url
+	case hasURLPayload(m.Op):
+		url, err := cutNUL(body)
+		if err != nil {
+			return m, err
+		}
+		m.URL = url
+	}
+	return m, nil
+}
+
+func cutNUL(b []byte) (string, error) {
+	if len(b) == 0 || b[len(b)-1] != 0 {
+		return "", ErrBadURL
+	}
+	return string(b[:len(b)-1]), nil
+}
+
+// SplitUpdate partitions flips into DIRUPDATE messages of at most
+// maxFlips records each (MaxFlipsPerMessage when maxFlips <= 0), all
+// carrying the same spec and geometry. The prototype "sends updates
+// whenever there are enough changes to fill an IP packet"; callers pick
+// maxFlips accordingly (e.g. ~360 for a 1500-byte MTU).
+func SplitUpdate(reqNum uint32, spec hashing.Spec, bits uint32, flips []bloom.Flip, maxFlips int) []Message {
+	if maxFlips <= 0 || maxFlips > MaxFlipsPerMessage {
+		maxFlips = MaxFlipsPerMessage
+	}
+	if len(flips) == 0 {
+		return []Message{NewDirUpdate(reqNum, spec, bits, nil)}
+	}
+	var out []Message
+	for start := 0; start < len(flips); start += maxFlips {
+		end := start + maxFlips
+		if end > len(flips) {
+			end = len(flips)
+		}
+		out = append(out, NewDirUpdate(reqNum, spec, bits, flips[start:end]))
+		reqNum++
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package lru implements the Web-proxy document cache used throughout the
+// paper's evaluation: least-recently-used replacement over a byte-capacity
+// budget, with the paper's policy that "documents larger than 250 KB are
+// not cached", version (last-modified/size) tracking for staleness
+// detection, an eviction callback that feeds cache-summary deltas, and a
+// Touch operation supporting the single-copy sharing scheme ("the other
+// proxy marks the document as most-recently-accessed").
+package lru
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// DefaultMaxObjectSize is the paper's cacheability limit: 250 KB.
+const DefaultMaxObjectSize = 250 * 1024
+
+// Entry is one cached document.
+type Entry struct {
+	Key     string // document URL
+	Size    int64  // body size in bytes
+	Version int64  // last-modified timestamp or content fingerprint; a
+	// mismatch on a later request is a staleness signal (the
+	// paper counts such hits as misses / remote stale hits)
+}
+
+// Event describes why an entry left or entered the cache, for observers.
+type Event int
+
+// Eviction causes reported to the OnEvict callback.
+const (
+	EvictCapacity Event = iota // displaced by LRU replacement
+	EvictRemoved               // explicitly removed (e.g. consistency purge)
+	EvictUpdated               // replaced by a new version of the same key
+)
+
+// Config customizes a Cache.
+type Config struct {
+	// MaxObjectSize rejects documents larger than this many bytes
+	// (DefaultMaxObjectSize when 0; negative disables the limit).
+	MaxObjectSize int64
+	// OnInsert, if non-nil, observes every insertion of a key not already
+	// cached. Version-only refreshes of a cached key do not fire it (the
+	// directory membership — what cache summaries track — is unchanged);
+	// they fire OnEvict with EvictUpdated instead.
+	OnInsert func(Entry)
+	// OnEvict, if non-nil, observes every departure with its cause.
+	OnEvict func(Entry, Event)
+}
+
+// ErrBadCapacity reports a non-positive cache capacity.
+var ErrBadCapacity = errors.New("lru: capacity must be positive")
+
+// Cache is a byte-budget LRU cache of documents. It is safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	maxObj   int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	onInsert func(Entry)
+	onEvict  func(Entry, Event)
+
+	hits, misses uint64
+}
+
+// New creates a cache holding at most capacity bytes.
+func New(capacity int64, cfg Config) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, ErrBadCapacity
+	}
+	maxObj := cfg.MaxObjectSize
+	if maxObj == 0 {
+		maxObj = DefaultMaxObjectSize
+	}
+	return &Cache{
+		capacity: capacity,
+		maxObj:   maxObj,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		onInsert: cfg.OnInsert,
+		onEvict:  cfg.OnEvict,
+	}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(capacity int64, cfg Config) *Cache {
+	c, err := New(capacity, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Capacity returns the byte budget.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// MaxObjectSize returns the per-document cacheability limit (<0: none).
+func (c *Cache) MaxObjectSize() int64 { return c.maxObj }
+
+// Len returns the number of cached documents.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the bytes currently cached.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Cacheable reports whether a document of the given size may be stored.
+func (c *Cache) Cacheable(size int64) bool {
+	if size < 0 {
+		return false
+	}
+	if c.maxObj >= 0 && size > c.maxObj {
+		return false
+	}
+	return size <= c.capacity
+}
+
+// Get returns the entry for key and promotes it to most recently used.
+// The second result reports presence; it does not imply freshness — compare
+// Entry.Version against the request's expected version for that.
+func (c *Cache) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(Entry), true
+}
+
+// Peek returns the entry without promoting it and without touching hit
+// accounting. Summaries and tests use this.
+func (c *Cache) Peek(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return el.Value.(Entry), true
+}
+
+// Contains reports presence without promotion or accounting.
+func (c *Cache) Contains(key string) bool {
+	_, ok := c.Peek(key)
+	return ok
+}
+
+// Touch promotes key to most recently used without reading it, the
+// operation single-copy sharing performs on the owning proxy when a peer
+// serves a remote hit. It reports whether the key was present.
+func (c *Cache) Touch(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(el)
+	return true
+}
+
+// event is a deferred callback notification; callbacks fire after the
+// cache lock is released so they may do slow work (network sends) or
+// re-enter the cache without deadlocking.
+type event struct {
+	entry Entry
+	evict bool
+	why   Event
+}
+
+func (c *Cache) fire(evs []event) {
+	for _, ev := range evs {
+		if ev.evict {
+			if c.onEvict != nil {
+				c.onEvict(ev.entry, ev.why)
+			}
+		} else if c.onInsert != nil {
+			c.onInsert(ev.entry)
+		}
+	}
+}
+
+// Put inserts or updates a document, evicting LRU entries as needed to fit.
+// It reports whether the document was stored; uncacheable documents (too
+// large) are rejected with stored == false and leave the cache unchanged.
+func (c *Cache) Put(e Entry) (stored bool) {
+	if !c.Cacheable(e.Size) {
+		return false
+	}
+	var evs []event
+	c.mu.Lock()
+	if el, ok := c.items[e.Key]; ok {
+		old := el.Value.(Entry)
+		c.bytes += e.Size - old.Size
+		el.Value = e
+		c.ll.MoveToFront(el)
+		if old.Version != e.Version {
+			evs = append(evs, event{entry: old, evict: true, why: EvictUpdated})
+		}
+		evs = c.evictOverflowLocked(evs)
+		c.mu.Unlock()
+		c.fire(evs)
+		return true
+	}
+	c.bytes += e.Size
+	c.items[e.Key] = c.ll.PushFront(e)
+	evs = append(evs, event{entry: e})
+	evs = c.evictOverflowLocked(evs)
+	c.mu.Unlock()
+	c.fire(evs)
+	return true
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	evs := c.removeElementLocked(el, EvictRemoved, nil)
+	c.mu.Unlock()
+	c.fire(evs)
+	return true
+}
+
+func (c *Cache) evictOverflowLocked(evs []event) []event {
+	for c.bytes > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			return evs
+		}
+		evs = c.removeElementLocked(back, EvictCapacity, evs)
+	}
+	return evs
+}
+
+func (c *Cache) removeElementLocked(el *list.Element, why Event, evs []event) []event {
+	e := el.Value.(Entry)
+	c.ll.Remove(el)
+	delete(c.items, e.Key)
+	c.bytes -= e.Size
+	return append(evs, event{entry: e, evict: true, why: why})
+}
+
+// Keys returns all cached keys from most to least recently used.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(Entry).Key)
+	}
+	return out
+}
+
+// Entries returns all cached entries from most to least recently used.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(Entry))
+	}
+	return out
+}
+
+// Stats returns lifetime (hits, misses) counted by Get.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear empties the cache without firing eviction callbacks.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.bytes = 0
+}

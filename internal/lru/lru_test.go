@@ -1,0 +1,301 @@
+package lru
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Config{}); err != ErrBadCapacity {
+		t.Fatalf("err = %v, want ErrBadCapacity", err)
+	}
+	if _, err := New(-5, Config{}); err != ErrBadCapacity {
+		t.Fatalf("err = %v, want ErrBadCapacity", err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c := MustNew(1000, Config{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	if !c.Put(Entry{Key: "a", Size: 100, Version: 1}) {
+		t.Fatal("Put rejected cacheable entry")
+	}
+	e, ok := c.Get("a")
+	if !ok || e.Size != 100 || e.Version != 1 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != 100 {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	var evicted []string
+	c := MustNew(300, Config{OnEvict: func(e Entry, ev Event) {
+		if ev == EvictCapacity {
+			evicted = append(evicted, e.Key)
+		}
+	}})
+	c.Put(Entry{Key: "a", Size: 100})
+	c.Put(Entry{Key: "b", Size: 100})
+	c.Put(Entry{Key: "c", Size: 100})
+	c.Get("a") // promote a; LRU order is now b, c, a
+	c.Put(Entry{Key: "d", Size: 100})
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if c.Contains("b") || !c.Contains("a") || !c.Contains("c") || !c.Contains("d") {
+		t.Fatal("wrong survivors after eviction")
+	}
+}
+
+func TestEvictionMultiple(t *testing.T) {
+	c := MustNew(250, Config{})
+	for i := 0; i < 5; i++ {
+		c.Put(Entry{Key: fmt.Sprintf("k%d", i), Size: 50})
+	}
+	// Inserting a 200-byte doc must displace several LRU entries.
+	c.Put(Entry{Key: "big", Size: 200})
+	if c.Bytes() > 250 {
+		t.Fatalf("bytes %d exceeds capacity", c.Bytes())
+	}
+	if !c.Contains("big") || !c.Contains("k4") {
+		t.Fatal("MRU entries should survive")
+	}
+	if c.Contains("k0") || c.Contains("k1") {
+		t.Fatal("LRU entries should be gone")
+	}
+}
+
+func TestMaxObjectSize(t *testing.T) {
+	c := MustNew(10<<20, Config{}) // default 250 KB limit
+	if c.Put(Entry{Key: "huge", Size: 251 * 1024}) {
+		t.Fatal("accepted document over the 250 KB paper limit")
+	}
+	if !c.Put(Entry{Key: "ok", Size: 250 * 1024}) {
+		t.Fatal("rejected document at the limit")
+	}
+	unlimited := MustNew(10<<20, Config{MaxObjectSize: -1})
+	if !unlimited.Put(Entry{Key: "huge", Size: 5 << 20}) {
+		t.Fatal("unlimited cache rejected large doc")
+	}
+	custom := MustNew(10<<20, Config{MaxObjectSize: 1000})
+	if custom.Put(Entry{Key: "x", Size: 1001}) {
+		t.Fatal("custom limit not applied")
+	}
+	if custom.Put(Entry{Key: "neg", Size: -1}) {
+		t.Fatal("accepted negative size")
+	}
+	if c.Put(Entry{Key: "overcap", Size: 11 << 20}) {
+		t.Fatal("accepted doc exceeding whole capacity")
+	}
+}
+
+func TestUpdateSameKey(t *testing.T) {
+	var inserts, updates int
+	c := MustNew(1000, Config{
+		OnInsert: func(Entry) { inserts++ },
+		OnEvict: func(_ Entry, ev Event) {
+			if ev == EvictUpdated {
+				updates++
+			}
+		},
+	})
+	c.Put(Entry{Key: "a", Size: 100, Version: 1})
+	c.Put(Entry{Key: "a", Size: 300, Version: 2}) // new version
+	if c.Len() != 1 || c.Bytes() != 300 {
+		t.Fatalf("len=%d bytes=%d after update", c.Len(), c.Bytes())
+	}
+	e, _ := c.Peek("a")
+	if e.Version != 2 {
+		t.Fatalf("version = %d, want 2", e.Version)
+	}
+	if inserts != 1 || updates != 1 {
+		t.Fatalf("inserts=%d updates=%d, want 1/1 (version refresh keeps directory membership)", inserts, updates)
+	}
+	// Re-putting the identical version is a refresh, not an update event.
+	c.Put(Entry{Key: "a", Size: 300, Version: 2})
+	if inserts != 1 || updates != 1 {
+		t.Fatalf("identical re-put fired callbacks: inserts=%d updates=%d", inserts, updates)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	c := MustNew(200, Config{})
+	c.Put(Entry{Key: "a", Size: 100})
+	c.Put(Entry{Key: "b", Size: 100})
+	if !c.Touch("a") {
+		t.Fatal("Touch miss on present key")
+	}
+	if c.Touch("zzz") {
+		t.Fatal("Touch hit on absent key")
+	}
+	c.Put(Entry{Key: "c", Size: 100}) // displaces LRU, which is now b
+	if !c.Contains("a") || c.Contains("b") {
+		t.Fatal("Touch did not promote")
+	}
+	// Touch must not affect hit accounting.
+	if h, _ := c.Stats(); h != 0 {
+		t.Fatalf("Touch counted as hit: %d", h)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var removed []Event
+	c := MustNew(1000, Config{OnEvict: func(_ Entry, ev Event) { removed = append(removed, ev) }})
+	c.Put(Entry{Key: "a", Size: 10})
+	if !c.Remove("a") {
+		t.Fatal("Remove missed present key")
+	}
+	if c.Remove("a") {
+		t.Fatal("Remove hit absent key")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("cache not empty after remove")
+	}
+	if len(removed) != 1 || removed[0] != EvictRemoved {
+		t.Fatalf("events = %v", removed)
+	}
+}
+
+func TestKeysOrder(t *testing.T) {
+	c := MustNew(1000, Config{})
+	c.Put(Entry{Key: "a", Size: 1})
+	c.Put(Entry{Key: "b", Size: 1})
+	c.Put(Entry{Key: "c", Size: 1})
+	c.Get("a")
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "c" || keys[2] != "b" {
+		t.Fatalf("keys = %v, want [a c b] (MRU first)", keys)
+	}
+	entries := c.Entries()
+	if len(entries) != 3 || entries[0].Key != "a" {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestClear(t *testing.T) {
+	evictions := 0
+	c := MustNew(1000, Config{OnEvict: func(Entry, Event) { evictions++ }})
+	c.Put(Entry{Key: "a", Size: 10})
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("Clear left state behind")
+	}
+	if evictions != 0 {
+		t.Fatal("Clear fired eviction callbacks")
+	}
+}
+
+// Invariant: bytes == sum of entry sizes, never exceeds capacity, and the
+// entry set matches the key set — under arbitrary operation sequences.
+func TestQuickInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(5000, Config{MaxObjectSize: -1})
+		for op := 0; op < 500; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(60))
+			switch rng.Intn(4) {
+			case 0, 1:
+				c.Put(Entry{Key: k, Size: int64(rng.Intn(500) + 1), Version: int64(rng.Intn(3))})
+			case 2:
+				c.Get(k)
+			case 3:
+				c.Remove(k)
+			}
+		}
+		if c.Bytes() > c.Capacity() {
+			return false
+		}
+		var sum int64
+		seen := map[string]bool{}
+		for _, e := range c.Entries() {
+			sum += e.Size
+			if seen[e.Key] {
+				return false // duplicate key in list
+			}
+			seen[e.Key] = true
+			if got, ok := c.Peek(e.Key); !ok || got != e {
+				return false
+			}
+		}
+		return sum == c.Bytes() && len(seen) == c.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The insert/evict callback stream must balance: applying it to a set
+// reproduces the cache contents. This is exactly what keeps a Bloom-filter
+// summary consistent with the cache.
+func TestCallbackStreamMirrorsCache(t *testing.T) {
+	mirror := map[string]bool{}
+	c := MustNew(3000, Config{
+		MaxObjectSize: -1,
+		OnInsert:      func(e Entry) { mirror[e.Key] = true },
+		OnEvict: func(e Entry, ev Event) {
+			if ev != EvictUpdated {
+				delete(mirror, e.Key)
+			}
+		},
+	})
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 2000; op++ {
+		k := fmt.Sprintf("k%d", rng.Intn(100))
+		switch rng.Intn(3) {
+		case 0, 1:
+			c.Put(Entry{Key: k, Size: int64(rng.Intn(200) + 1)})
+		case 2:
+			c.Remove(k)
+		}
+	}
+	if len(mirror) != c.Len() {
+		t.Fatalf("mirror has %d keys, cache has %d", len(mirror), c.Len())
+	}
+	for _, k := range c.Keys() {
+		if !mirror[k] {
+			t.Fatalf("cache key %q missing from mirror", k)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := MustNew(100000, Config{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("g%d-%d", g, i%50)
+				c.Put(Entry{Key: k, Size: 10})
+				c.Get(k)
+				c.Touch(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Bytes() > c.Capacity() {
+		t.Fatal("capacity violated under concurrency")
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	c := MustNew(1<<24, Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := fmt.Sprintf("k%d", i%10000)
+		c.Put(Entry{Key: k, Size: 1024})
+		c.Get(k)
+	}
+}

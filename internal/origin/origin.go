@@ -1,0 +1,155 @@
+// Package origin implements the synthetic Web-server farm of the paper's
+// benchmark experiments: an HTTP server that delays each reply by a
+// configurable latency ("the process waits for one second before sending
+// the reply to simulate the network latency") and answers with a body of
+// the size encoded in the request URL ("each request's URL carries the
+// size of the request in the trace file, and the server replies with the
+// specified number of bytes").
+package origin
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// SizeParam is the query parameter carrying the desired body size in bytes.
+const SizeParam = "size"
+
+// VersionParam is the query parameter carrying the document generation; it
+// is echoed in the VersionHeader so caches can detect staleness.
+const VersionParam = "v"
+
+// VersionHeader echoes the document generation.
+const VersionHeader = "X-Doc-Version"
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// Latency delays every response (the paper uses 1 s; benchmarks here
+	// scale it down and report ratios).
+	Latency time.Duration
+	// DefaultSize is the body size when the URL carries none (default 8 KB,
+	// the paper's average document size).
+	DefaultSize int64
+	// MaxSize caps response bodies as a safety valve (default 16 MB).
+	MaxSize int64
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Requests  uint64
+	BodyBytes uint64
+}
+
+// Server is a running synthetic origin.
+type Server struct {
+	cfg      Config
+	ln       net.Listener
+	srv      *http.Server
+	requests atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// Start launches the server.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.DefaultSize <= 0 {
+		cfg.DefaultSize = 8 * 1024
+	}
+	if cfg.MaxSize <= 0 {
+		cfg.MaxSize = 16 << 20
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("origin: listen %q: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	s.srv = &http.Server{Handler: s}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// URL returns the server's base URL (http://host:port).
+func (s *Server) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{Requests: s.requests.Load(), BodyBytes: s.bytes.Load()}
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	size := s.cfg.DefaultSize
+	if v := r.URL.Query().Get(SizeParam); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad size", http.StatusBadRequest)
+			return
+		}
+		size = n
+	}
+	if size > s.cfg.MaxSize {
+		size = s.cfg.MaxSize
+	}
+	if s.cfg.Latency > 0 {
+		select {
+		case <-time.After(s.cfg.Latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if v := r.URL.Query().Get(VersionParam); v != "" {
+		w.Header().Set(VersionHeader, v)
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if r.Method == http.MethodHead {
+		return
+	}
+	written, _ := writeBody(w, size)
+	s.bytes.Add(uint64(written))
+}
+
+// writeBody streams size deterministic bytes without allocating the whole
+// body.
+func writeBody(w http.ResponseWriter, size int64) (int64, error) {
+	const chunkSize = 32 * 1024
+	var chunk [chunkSize]byte
+	for i := range chunk {
+		chunk[i] = byte('a' + i%26)
+	}
+	var written int64
+	for written < size {
+		n := size - written
+		if n > chunkSize {
+			n = chunkSize
+		}
+		m, err := w.Write(chunk[:n])
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// DocURL builds a document URL on base for the given path, size and
+// version — the form the trace-replay benchmark requests.
+func DocURL(base, path string, size, version int64) string {
+	return fmt.Sprintf("%s/%s?%s=%d&%s=%d", base, path, SizeParam, size, VersionParam, version)
+}

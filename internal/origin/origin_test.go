@@ -1,0 +1,108 @@
+package origin
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func startTest(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestSizedBody(t *testing.T) {
+	s := startTest(t, Config{})
+	for _, size := range []int{0, 1, 1000, 100000} {
+		resp, body := get(t, DocURL(s.URL(), "doc1", int64(size), 0))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if len(body) != size {
+			t.Fatalf("size %d: got %d bytes", size, len(body))
+		}
+	}
+	st := s.Stats()
+	if st.Requests != 4 || st.BodyBytes != 101001 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	s := startTest(t, Config{DefaultSize: 500})
+	_, body := get(t, s.URL()+"/plain")
+	if len(body) != 500 {
+		t.Fatalf("default size: got %d", len(body))
+	}
+}
+
+func TestVersionHeader(t *testing.T) {
+	s := startTest(t, Config{})
+	resp, _ := get(t, DocURL(s.URL(), "doc", 10, 7))
+	if got := resp.Header.Get(VersionHeader); got != "7" {
+		t.Fatalf("version header = %q", got)
+	}
+}
+
+func TestBadSize(t *testing.T) {
+	s := startTest(t, Config{})
+	for _, q := range []string{"?size=abc", "?size=-5"} {
+		resp, _ := get(t, s.URL()+"/doc"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestMaxSizeCap(t *testing.T) {
+	s := startTest(t, Config{MaxSize: 1000})
+	_, body := get(t, DocURL(s.URL(), "doc", 5000, 0))
+	if len(body) != 1000 {
+		t.Fatalf("cap: got %d bytes", len(body))
+	}
+}
+
+func TestLatency(t *testing.T) {
+	const delay = 80 * time.Millisecond
+	s := startTest(t, Config{Latency: delay})
+	start := time.Now()
+	get(t, DocURL(s.URL(), "doc", 10, 0))
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("response after %v, want ≥ %v", elapsed, delay)
+	}
+}
+
+func TestHead(t *testing.T) {
+	s := startTest(t, Config{})
+	resp, err := http.Head(DocURL(s.URL(), "doc", 1234, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.ContentLength != 1234 {
+		t.Fatalf("HEAD content-length = %d", resp.ContentLength)
+	}
+	if s.Stats().BodyBytes != 0 {
+		t.Fatal("HEAD transferred body bytes")
+	}
+}

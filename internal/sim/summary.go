@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"strings"
+
+	"summarycache/internal/bloom"
+	"summarycache/internal/hashing"
+)
+
+// probeKey is a request URL prepared once per discovery so that probing
+// N-1 peer summaries does not recompute hashes or parse the URL N-1 times.
+type probeKey struct {
+	url    string
+	server string   // set for ServerName summaries
+	idx    []uint64 // Bloom indices, set for Bloom summaries
+}
+
+// summarizer is one proxy's summary pipeline: the live side mirrors the
+// proxy's own directory as documents enter and leave its cache; publish
+// drains accumulated changes into the published view — the (delayed) copy
+// every peer holds; probe asks the published view about a URL.
+type summarizer interface {
+	insert(url string)
+	remove(url string)
+	// pending returns directory changes accumulated since the last publish
+	// (the quantity the update threshold is measured against counts only
+	// new documents; see proxyState.newDocs in the engine).
+	pending() int
+	// publish applies pending changes to the published view and returns
+	// the size in bytes of one unicast update message carrying them.
+	publish() (msgBytes int)
+	probe(k probeKey) bool
+	// memoryBytes is the size of one published summary — what each peer
+	// must dedicate per neighbor (Table III).
+	memoryBytes() uint64
+	// counterBytes is any additional local-only maintenance memory (the
+	// counting filter's counters for Bloom; zero otherwise).
+	counterBytes() uint64
+}
+
+// ServerOf extracts the server-name component of a URL (host, without
+// scheme, path, or port), the key of the server-name summary.
+func ServerOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexAny(s, "/?"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// oracleSummary consults the true contents with zero traffic; the
+// discovery idealization used for the Fig. 1 scheme comparison. The engine
+// resolves oracle probes directly against peer caches, so probe here is
+// never called; the methods exist to satisfy the interface cheaply.
+type oracleSummary struct{}
+
+func (oracleSummary) insert(string)        {}
+func (oracleSummary) remove(string)        {}
+func (oracleSummary) pending() int         { return 0 }
+func (oracleSummary) publish() int         { return 0 }
+func (oracleSummary) probe(probeKey) bool  { return true }
+func (oracleSummary) memoryBytes() uint64  { return 0 }
+func (oracleSummary) counterBytes() uint64 { return 0 }
+
+// icpSummary answers "maybe" for everything: ICP queries every peer on
+// every miss and keeps no state.
+type icpSummary struct{}
+
+func (icpSummary) insert(string)        {}
+func (icpSummary) remove(string)        {}
+func (icpSummary) pending() int         { return 0 }
+func (icpSummary) publish() int         { return 0 }
+func (icpSummary) probe(probeKey) bool  { return true }
+func (icpSummary) memoryBytes() uint64  { return 0 }
+func (icpSummary) counterBytes() uint64 { return 0 }
+
+// dirChange is one journal entry for directory-delta summaries.
+type dirChange struct {
+	key string
+	add bool
+}
+
+// exactDirSummary is the exact-directory representation: the summary is
+// the cache directory itself, each URL represented on the wire and in
+// memory by its 16-byte MD5 signature.
+type exactDirSummary struct {
+	model     MessageModel
+	journal   []dirChange
+	published map[string]struct{}
+}
+
+func newExactDirSummary(model MessageModel) *exactDirSummary {
+	return &exactDirSummary{model: model, published: make(map[string]struct{})}
+}
+
+func (s *exactDirSummary) insert(url string) { s.journal = append(s.journal, dirChange{url, true}) }
+func (s *exactDirSummary) remove(url string) { s.journal = append(s.journal, dirChange{url, false}) }
+func (s *exactDirSummary) pending() int      { return len(s.journal) }
+
+func (s *exactDirSummary) publish() int {
+	n := len(s.journal)
+	for _, ch := range s.journal {
+		if ch.add {
+			s.published[ch.key] = struct{}{}
+		} else {
+			delete(s.published, ch.key)
+		}
+	}
+	s.journal = s.journal[:0]
+	return s.model.DirUpdateHeader + n*s.model.DirUpdatePerEntry
+}
+
+func (s *exactDirSummary) probe(k probeKey) bool {
+	_, ok := s.published[k.url]
+	return ok
+}
+
+// memoryBytes: 16 bytes (MD5 signature) per published entry.
+func (s *exactDirSummary) memoryBytes() uint64  { return uint64(len(s.published)) * 16 }
+func (s *exactDirSummary) counterBytes() uint64 { return 0 }
+
+// serverNameSummary keeps the set of server names of cached URLs. Because
+// many URLs share a server, the live side reference-counts and only
+// journals 0↔1 transitions.
+type serverNameSummary struct {
+	model     MessageModel
+	refs      map[string]int
+	journal   []dirChange
+	published map[string]struct{}
+}
+
+func newServerNameSummary(model MessageModel) *serverNameSummary {
+	return &serverNameSummary{
+		model:     model,
+		refs:      make(map[string]int),
+		published: make(map[string]struct{}),
+	}
+}
+
+func (s *serverNameSummary) insert(url string) {
+	sv := ServerOf(url)
+	s.refs[sv]++
+	if s.refs[sv] == 1 {
+		s.journal = append(s.journal, dirChange{sv, true})
+	}
+}
+
+func (s *serverNameSummary) remove(url string) {
+	sv := ServerOf(url)
+	if s.refs[sv] == 0 {
+		return // remove without insert; ignore like counter underflow
+	}
+	s.refs[sv]--
+	if s.refs[sv] == 0 {
+		delete(s.refs, sv)
+		s.journal = append(s.journal, dirChange{sv, false})
+	}
+}
+
+func (s *serverNameSummary) pending() int { return len(s.journal) }
+
+func (s *serverNameSummary) publish() int {
+	n := len(s.journal)
+	for _, ch := range s.journal {
+		if ch.add {
+			s.published[ch.key] = struct{}{}
+		} else {
+			delete(s.published, ch.key)
+		}
+	}
+	s.journal = s.journal[:0]
+	return s.model.DirUpdateHeader + n*s.model.DirUpdatePerEntry
+}
+
+func (s *serverNameSummary) probe(k probeKey) bool {
+	_, ok := s.published[k.server]
+	return ok
+}
+
+// memoryBytes: the name bytes plus small per-entry overhead.
+func (s *serverNameSummary) memoryBytes() uint64 {
+	var b uint64
+	for name := range s.published {
+		b += uint64(len(name)) + 8
+	}
+	return b
+}
+func (s *serverNameSummary) counterBytes() uint64 { return 0 }
+
+// bloomSummary is the paper's proposal: the live side is a counting Bloom
+// filter journaling bit flips; the published view is the plain bit filter
+// peers hold and probe.
+type bloomSummary struct {
+	model      MessageModel
+	counting   *bloom.CountingFilter
+	journal    []bloom.Flip
+	published  *bloom.Filter
+	wholeArray bool // BloomDigest: updates ship the full bit array
+
+	flipEvents  uint64
+	flipsTotal  uint64
+	scratchFlip []bloom.Flip
+}
+
+func newBloomSummary(model MessageModel, mBits uint64, counterBits uint, spec hashing.Spec, wholeArray bool) *bloomSummary {
+	return &bloomSummary{
+		model:      model,
+		counting:   bloom.MustNewCountingFilter(mBits, counterBits, spec),
+		published:  bloom.MustNewFilter(mBits, spec),
+		wholeArray: wholeArray,
+	}
+}
+
+func (s *bloomSummary) insert(url string) {
+	s.scratchFlip = s.counting.Add(url, s.scratchFlip[:0])
+	s.journal = append(s.journal, s.scratchFlip...)
+}
+
+func (s *bloomSummary) remove(url string) {
+	s.scratchFlip = s.counting.Remove(url, s.scratchFlip[:0])
+	s.journal = append(s.journal, s.scratchFlip...)
+}
+
+func (s *bloomSummary) pending() int { return len(s.journal) }
+
+func (s *bloomSummary) publish() int {
+	n := len(s.journal)
+	// Apply cannot fail: flips come from a same-geometry counting filter.
+	if err := s.published.Apply(s.journal); err != nil {
+		panic("sim: bloom flip out of range: " + err.Error())
+	}
+	s.journal = s.journal[:0]
+	if n > 0 {
+		s.flipEvents++
+		s.flipsTotal += uint64(n)
+	}
+	if s.wholeArray {
+		// Cache-digest style: header plus the full bit array.
+		return s.model.BloomUpdateHeader + int((s.published.Size()+7)/8)
+	}
+	return s.model.BloomUpdateHeader + n*s.model.BloomUpdatePerBit
+}
+
+func (s *bloomSummary) probe(k probeKey) bool { return s.published.TestIndexes(k.idx) }
+
+// memoryBytes: the published bit array.
+func (s *bloomSummary) memoryBytes() uint64 { return (s.published.Size() + 7) / 8 }
+
+// counterBytes: the local counting filter's counters.
+func (s *bloomSummary) counterBytes() uint64 { return s.counting.MemoryBytes() }

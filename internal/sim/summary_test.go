@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"summarycache/internal/hashing"
+)
+
+func pk(url string) probeKey { return probeKey{url: url, server: ServerOf(url)} }
+
+func bloomPK(t *testing.T, url string, m uint64) probeKey {
+	t.Helper()
+	fam := hashing.MustNew(hashing.DefaultSpec)
+	idx, err := fam.Indexes(nil, url, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return probeKey{url: url, idx: idx}
+}
+
+func TestExactDirSummaryLifecycle(t *testing.T) {
+	s := newExactDirSummary(PaperMessageModel)
+	if s.probe(pk("http://a/")) {
+		t.Fatal("empty summary probed true")
+	}
+	s.insert("http://a/")
+	s.insert("http://b/")
+	if s.probe(pk("http://a/")) {
+		t.Fatal("unpublished insert visible (summaries are delayed by design)")
+	}
+	if s.pending() != 2 {
+		t.Fatalf("pending = %d", s.pending())
+	}
+	bytes := s.publish()
+	// 20-byte header + 16 bytes per change (the paper's cost model).
+	if bytes != 20+2*16 {
+		t.Fatalf("publish bytes = %d, want 52", bytes)
+	}
+	if !s.probe(pk("http://a/")) || !s.probe(pk("http://b/")) {
+		t.Fatal("published entries not visible")
+	}
+	if s.memoryBytes() != 2*16 {
+		t.Fatalf("memory = %d, want 32 (16B MD5 per entry)", s.memoryBytes())
+	}
+	s.remove("http://a/")
+	s.publish()
+	if s.probe(pk("http://a/")) {
+		t.Fatal("removed entry still visible after publish")
+	}
+	if s.counterBytes() != 0 {
+		t.Fatal("exact-dir has no counters")
+	}
+}
+
+func TestServerNameSummaryRefCounting(t *testing.T) {
+	s := newServerNameSummary(PaperMessageModel)
+	s.insert("http://host.com/a")
+	s.insert("http://host.com/b") // same server: no new journal entry
+	if s.pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (one server)", s.pending())
+	}
+	s.publish()
+	if !s.probe(pk("http://host.com/anything")) {
+		t.Fatal("server not visible")
+	}
+	// Removing one URL keeps the server; removing both drops it.
+	s.remove("http://host.com/a")
+	if s.pending() != 0 {
+		t.Fatalf("pending = %d after partial removal, want 0", s.pending())
+	}
+	s.remove("http://host.com/b")
+	if s.pending() != 1 {
+		t.Fatalf("pending = %d after full removal, want 1", s.pending())
+	}
+	s.publish()
+	if s.probe(pk("http://host.com/anything")) {
+		t.Fatal("server visible after all URLs removed")
+	}
+	// Underflow remove is ignored.
+	s.remove("http://never.com/x")
+	if s.pending() != 0 {
+		t.Fatal("underflow journaled a change")
+	}
+	if s.memoryBytes() != 0 {
+		t.Fatal("empty summary has memory")
+	}
+}
+
+func TestBloomSummaryDeltaVsDigestCost(t *testing.T) {
+	const m = 1 << 12
+	delta := newBloomSummary(PaperMessageModel, m, 4, hashing.DefaultSpec, false)
+	digest := newBloomSummary(PaperMessageModel, m, 4, hashing.DefaultSpec, true)
+	for i := 0; i < 10; i++ {
+		u := fmt.Sprintf("http://h/%d", i)
+		delta.insert(u)
+		digest.insert(u)
+	}
+	db := delta.publish()
+	gb := digest.publish()
+	// Delta: 32-byte header + 4 bytes per flip (≤ 40 flips for 10 docs).
+	if db > 32+40*4 || db < 32+4 {
+		t.Fatalf("delta publish = %d bytes, want header+flips", db)
+	}
+	// Digest: header + whole array (m/8 bytes), regardless of change count.
+	if gb != 32+m/8 {
+		t.Fatalf("digest publish = %d bytes, want %d", gb, 32+m/8)
+	}
+	// Probing behavior is identical.
+	k := bloomPK(t, "http://h/3", m)
+	if !delta.probe(k) || !digest.probe(k) {
+		t.Fatal("published doc not visible")
+	}
+	if delta.memoryBytes() != m/8 || digest.memoryBytes() != m/8 {
+		t.Fatal("bloom memory should be m/8 bytes")
+	}
+	if delta.counterBytes() == 0 {
+		t.Fatal("counting filter memory not reported")
+	}
+}
+
+func TestBloomSummaryDelayedVisibility(t *testing.T) {
+	const m = 1 << 12
+	s := newBloomSummary(PaperMessageModel, m, 4, hashing.DefaultSpec, false)
+	s.insert("http://x/")
+	if s.probe(bloomPK(t, "http://x/", m)) {
+		t.Fatal("unpublished insert visible")
+	}
+	s.publish()
+	if !s.probe(bloomPK(t, "http://x/", m)) {
+		t.Fatal("published insert invisible")
+	}
+	s.remove("http://x/")
+	if !s.probe(bloomPK(t, "http://x/", m)) {
+		t.Fatal("unpublished removal already visible")
+	}
+	s.publish()
+	if s.probe(bloomPK(t, "http://x/", m)) {
+		t.Fatal("published removal still visible")
+	}
+}
+
+func TestOracleAndICPSummariesAreStateless(t *testing.T) {
+	for name, s := range map[string]summarizer{"oracle": oracleSummary{}, "icp": icpSummary{}} {
+		s.insert("http://a/")
+		s.remove("http://a/")
+		if s.pending() != 0 || s.publish() != 0 || s.memoryBytes() != 0 || s.counterBytes() != 0 {
+			t.Errorf("%s summary is not stateless", name)
+		}
+		if !s.probe(pk("http://anything/")) {
+			t.Errorf("%s summary must always answer maybe", name)
+		}
+	}
+}
+
+// BloomDigest behaves identically to Bloom in hit/false-hit terms through
+// the full engine; only update bytes differ.
+func TestEngineBloomDigestEquivalence(t *testing.T) {
+	reqs := testTrace(t, 20000)
+	per := cacheSizeFor(t, reqs, 0.10, 4)
+	run := func(kind SummaryKind) Result {
+		r, err := Run(Config{NumProxies: 4, CacheBytes: per, Scheme: SimpleSharing,
+			Summary: SummaryConfig{Kind: kind, UpdateThreshold: 0.01, LoadFactor: 16}}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	delta := run(Bloom)
+	digest := run(BloomDigest)
+	if delta.HitRatio() != digest.HitRatio() {
+		t.Errorf("hit ratios differ: %.4f vs %.4f", delta.HitRatio(), digest.HitRatio())
+	}
+	if delta.FalseHits != digest.FalseHits {
+		t.Errorf("false hits differ: %d vs %d", delta.FalseHits, digest.FalseHits)
+	}
+	if delta.UpdateMessages != digest.UpdateMessages {
+		t.Errorf("update message counts differ: %d vs %d", delta.UpdateMessages, digest.UpdateMessages)
+	}
+	if delta.UpdateBytes == digest.UpdateBytes {
+		t.Error("update bytes should differ between delta and digest")
+	}
+}
+
+// MinUpdateDocs batches updates without affecting correctness categories
+// other than the expected added staleness.
+func TestEngineMinUpdateDocs(t *testing.T) {
+	reqs := testTrace(t, 20000)
+	per := cacheSizeFor(t, reqs, 0.10, 4)
+	run := func(minDocs int) Result {
+		r, err := Run(Config{NumProxies: 4, CacheBytes: per, Scheme: SimpleSharing,
+			Summary: SummaryConfig{Kind: Bloom, UpdateThreshold: 0.01, LoadFactor: 16,
+				MinUpdateDocs: minDocs}}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	fine := run(0)
+	coarse := run(50)
+	if coarse.UpdateEvents >= fine.UpdateEvents {
+		t.Errorf("batching did not reduce update events: %d vs %d",
+			coarse.UpdateEvents, fine.UpdateEvents)
+	}
+	if coarse.HitRatio() > fine.HitRatio()+1e-9 {
+		t.Errorf("coarser updates should not raise hit ratio: %.4f vs %.4f",
+			coarse.HitRatio(), fine.HitRatio())
+	}
+	if coarse.FalseMisses < fine.FalseMisses {
+		t.Errorf("coarser updates should not reduce false misses")
+	}
+}

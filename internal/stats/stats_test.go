@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 0.8); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("accepted alpha=0")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("accepted alpha<0")
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := MustNewZipf(1000, 0.8)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(1000) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := MustNewZipf(10000, 0.8)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, z.N())
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Rank 0 should be sampled roughly Prob(0)*trials times.
+	want := z.Prob(0) * trials
+	if math.Abs(float64(counts[0])-want) > want*0.1 {
+		t.Errorf("rank 0 sampled %d times, want ≈%.0f", counts[0], want)
+	}
+	// Popularity must be broadly decreasing: top 1% of ranks attract far
+	// more than 1% of requests under alpha=0.8.
+	top := 0
+	for i := 0; i < 100; i++ {
+		top += counts[i]
+	}
+	if float64(top)/trials < 0.15 {
+		t.Errorf("top-1%% share %.3f too small for Zipf(0.8)", float64(top)/trials)
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		z := MustNewZipf(50, 1.0)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if s := z.Sample(rng); s < 0 || s >= 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	p := Pareto{Alpha: 1.1, Min: 1024, Max: 250 * 1024}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		x := p.Sample(rng)
+		if x < 1024 || x > 250*1024 {
+			t.Fatalf("sample %d outside bounds", x)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	p := Pareto{Alpha: 1.1, Min: 1024, Max: 10 << 20}
+	rng := rand.New(rand.NewSource(3))
+	var big int
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if p.Sample(rng) > 100*1024 {
+			big++
+		}
+	}
+	// P(X > 100k) ≈ (min/100k)^alpha ≈ 0.0064 for the unbounded law.
+	frac := float64(big) / trials
+	if frac < 0.003 || frac > 0.02 {
+		t.Errorf("tail mass %.4f outside heavy-tail band", frac)
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	p := Pareto{Alpha: 1.5, Min: 1000, Max: 0}
+	if got, want := p.Mean(), 3000.0; math.Abs(got-want) > 1 {
+		t.Errorf("unbounded mean = %v, want %v", got, want)
+	}
+	if !math.IsInf(Pareto{Alpha: 1, Min: 1}.Mean(), 1) {
+		t.Error("alpha<=1 mean should be +Inf")
+	}
+	// Truncated mean must be finite and between min and max.
+	tr := Pareto{Alpha: 1.1, Min: 1024, Max: 250 * 1024}
+	m := tr.Mean()
+	if m < 1024 || m > 250*1024 {
+		t.Errorf("truncated mean %v out of range", m)
+	}
+	// Empirical agreement.
+	rng := rand.New(rand.NewSource(4))
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(float64(tr.Sample(rng)))
+	}
+	if math.Abs(w.Mean()-m) > m*0.05 {
+		t.Errorf("empirical mean %v vs analytic %v", w.Mean(), m)
+	}
+}
+
+func TestParetoDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if got := (Pareto{Alpha: 0, Min: 100}).Sample(rng); got != 100 {
+		t.Errorf("degenerate alpha: got %d", got)
+	}
+}
+
+func TestStackSamplerValidation(t *testing.T) {
+	if _, err := NewStackSampler(0, 1); err == nil {
+		t.Error("accepted capacity 0")
+	}
+	if _, err := NewStackSampler(10, 0); err == nil {
+		t.Error("accepted alpha 0")
+	}
+}
+
+func TestStackSamplerReuseEmpty(t *testing.T) {
+	s := MustNewStackSampler(8, 1)
+	rng := rand.New(rand.NewSource(6))
+	if _, ok := s.Reuse(rng); ok {
+		t.Fatal("Reuse on empty stack returned ok")
+	}
+}
+
+func TestStackSamplerRecencyBias(t *testing.T) {
+	s := MustNewStackSampler(100, 1.5)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		s.Record(i)
+	}
+	// Measure depth bias directly: record a fresh item, then draw once. The
+	// just-recorded item sits at depth 0, which Zipf(100, 1.5) selects with
+	// probability ≈ 0.41 — vastly above the uniform 1%.
+	const trials = 10000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		fresh := 1000 + i
+		s.Record(fresh)
+		if v, ok := s.Reuse(rng); ok && v == fresh {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.3 || frac > 0.55 {
+		t.Errorf("depth-0 reuse fraction %.3f, want ≈0.41", frac)
+	}
+}
+
+func TestStackSamplerEviction(t *testing.T) {
+	s := MustNewStackSampler(4, 1)
+	for i := 0; i < 10; i++ {
+		s.Record(i)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+	// Recording an existing item must not grow the stack.
+	s.Record(9)
+	if s.Len() != 4 {
+		t.Fatalf("duplicate record grew stack to %d", s.Len())
+	}
+}
+
+func TestStackSamplerConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := MustNewStackSampler(16, 1.2)
+		for i := 0; i < 200; i++ {
+			if rng.Intn(2) == 0 {
+				s.Record(rng.Intn(40))
+			} else if v, ok := s.Reuse(rng); ok {
+				_ = v
+			}
+			if s.Len() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Variance()-32.0/7) > 1e-9 {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	if w.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	prop := func(ai, bi []int16) bool {
+		var wa, wb, all Welford
+		for _, v := range ai {
+			x := float64(v)
+			wa.Add(x)
+			all.Add(x)
+		}
+		for _, v := range bi {
+			x := float64(v)
+			wb.Add(x)
+			all.Add(x)
+		}
+		wa.Merge(wb)
+		if wa.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(wa.Mean()-all.Mean()) < 1e-6*(1+math.Abs(all.Mean())) &&
+			math.Abs(wa.Variance()-all.Variance()) < 1e-6*(1+all.Variance())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	if l.Mean() != 0 || l.Percentile(50) != 0 || l.Count() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := l.Percentile(0); got != 1*time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+	r.Add(true)
+	r.Add(false)
+	r.Add(true)
+	r.Add(true)
+	if r.Value() != 0.75 || r.Percent() != 75 {
+		t.Errorf("ratio = %v", r.Value())
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := MustNewZipf(1<<20, 0.8)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Sample(rng)
+	}
+}
+
+func BenchmarkParetoSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DefaultPareto.Sample(rng)
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Welford accumulates mean and variance online (Welford's algorithm). The
+// zero value is ready to use. Not safe for concurrent use; wrap in a mutex
+// or use one per goroutine and Merge.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into this one (Chan et al. parallel
+// variance combination).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	mean := w.mean + d*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// N returns the observation count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (0 when n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// String implements fmt.Stringer.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", w.n, w.Mean(), w.Stddev(), w.min, w.max)
+}
+
+// LatencyRecorder collects request latencies concurrently and reports
+// summary percentiles — the "average latency seen by the clients" column of
+// Tables II, IV and V, plus the tail the paper discusses qualitatively.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record appends one latency sample. Safe for concurrent use.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the mean latency.
+func (l *LatencyRecorder) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile latency, p in [0,100].
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Ratio is a hit-ratio style counter pair with convenience accessors.
+type Ratio struct {
+	Num, Den uint64
+}
+
+// Add increments the denominator and, when hit, the numerator.
+func (r *Ratio) Add(hit bool) {
+	r.Den++
+	if hit {
+		r.Num++
+	}
+}
+
+// Value returns Num/Den (0 when empty).
+func (r Ratio) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Percent returns the ratio as a percentage.
+func (r Ratio) Percent() float64 { return 100 * r.Value() }
+
+func (r Ratio) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", r.Num, r.Den, r.Percent())
+}

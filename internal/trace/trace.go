@@ -1,0 +1,251 @@
+// Package trace defines the HTTP request-trace model used by the simulator
+// and the trace-replay benchmark: a compact record format mirroring the
+// fields the paper's traces provide (timestamp, client, URL, document size,
+// last-modified), a line-oriented codec, and the per-trace statistics of
+// the paper's Table I (requests, clients, infinite cache size, maximum
+// achievable hit and byte-hit ratios under an infinite cache with perfect
+// consistency).
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Request is one trace record. Version models the document's last-modified
+// time (or size fingerprint): when a request carries a Version different
+// from the cached copy's, the paper counts the access as a miss ("if a
+// request hits on a document whose last-modified time or size is changed,
+// we count it as a cache miss").
+type Request struct {
+	Time    int64  // seconds since trace start
+	Client  int    // client identifier
+	URL     string // document URL (no whitespace)
+	Size    int64  // document size in bytes
+	Version int64  // last-modified generation
+}
+
+// Group returns the proxy group for the request's client under the paper's
+// partitioning rule: "a client is put in a group if its clientID mod the
+// group size equals the group ID".
+func (r Request) Group(numGroups int) int {
+	if numGroups <= 0 {
+		return 0
+	}
+	g := r.Client % numGroups
+	if g < 0 {
+		g += numGroups
+	}
+	return g
+}
+
+// Writer emits requests in the trace text format:
+//
+//	time client size version url
+//
+// one record per line, space separated. Close flushes buffered output.
+type Writer struct {
+	bw *bufio.Writer
+	n  int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// Write emits one record.
+func (w *Writer) Write(r Request) error {
+	if strings.ContainsAny(r.URL, " \t\n") {
+		return fmt.Errorf("trace: URL %q contains whitespace", r.URL)
+	}
+	if _, err := fmt.Fprintf(w.bw, "%d %d %d %d %s\n", r.Time, r.Client, r.Size, r.Version, r.URL); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// ErrBadRecord reports a malformed trace line.
+var ErrBadRecord = errors.New("trace: malformed record")
+
+// Reader parses the trace text format. Lines starting with '#' and blank
+// lines are skipped.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next record, or io.EOF at end of input.
+func (r *Reader) Read() (Request, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := ParseRecord(line)
+		if err != nil {
+			return Request{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return req, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+// ReadAll slurps the remaining records.
+func (r *Reader) ReadAll() ([]Request, error) {
+	var out []Request
+	for {
+		req, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, req)
+	}
+}
+
+// ParseRecord parses a single trace line.
+func ParseRecord(line string) (Request, error) {
+	f := strings.Fields(line)
+	if len(f) != 5 {
+		return Request{}, fmt.Errorf("%w: want 5 fields, got %d", ErrBadRecord, len(f))
+	}
+	t, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: time: %v", ErrBadRecord, err)
+	}
+	client, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: client: %v", ErrBadRecord, err)
+	}
+	size, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: size: %v", ErrBadRecord, err)
+	}
+	if size < 0 {
+		return Request{}, fmt.Errorf("%w: negative size", ErrBadRecord)
+	}
+	ver, err := strconv.ParseInt(f[3], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: version: %v", ErrBadRecord, err)
+	}
+	return Request{Time: t, Client: client, Size: size, Version: ver, URL: f[4]}, nil
+}
+
+// CacheableLimit is the document-size cutoff used for the cacheable-doc
+// statistics, matching the paper's proxy policy that "documents larger
+// than 250 KB are not cached".
+const CacheableLimit = 250 * 1024
+
+// Stats summarizes a trace, reproducing the columns of the paper's Table I.
+type Stats struct {
+	Name              string
+	Requests          uint64
+	Clients           int
+	UniqueDocs        uint64
+	TotalBytes        uint64 // bytes transferred if nothing were cached
+	InfiniteCacheSize uint64 // total size of unique documents (latest versions)
+	DurationSeconds   int64
+	MaxHitRatio       float64 // hit ratio with infinite cache, perfect consistency
+	MaxByteHitRatio   float64
+	// CacheableDocs/CacheableBytes cover only documents at or under
+	// CacheableLimit — the population a proxy cache (and therefore a
+	// cache summary) actually holds. Their ratio is the right average
+	// document size for sizing Bloom filters (the paper's "8 K").
+	CacheableDocs  uint64
+	CacheableBytes uint64
+}
+
+// AvgCacheableDocBytes returns the average size of cacheable documents
+// (8192 when the trace has none).
+func (s Stats) AvgCacheableDocBytes() int64 {
+	if s.CacheableDocs == 0 {
+		return 8192
+	}
+	return int64(s.CacheableBytes / s.CacheableDocs)
+}
+
+// ComputeStats scans requests and derives Table I statistics. A request is
+// an infinite-cache hit iff the URL was seen before with the same Version;
+// a version change is a (cold) miss and updates the stored version, exactly
+// matching the simulator's consistency model.
+func ComputeStats(name string, reqs []Request) Stats {
+	s := Stats{Name: name}
+	type docState struct {
+		version int64
+		size    int64
+	}
+	docs := make(map[string]docState)
+	clients := make(map[int]struct{})
+	var hits, byteHits, bytes uint64
+	var minT, maxT int64
+	for i, r := range reqs {
+		if i == 0 {
+			minT, maxT = r.Time, r.Time
+		} else {
+			if r.Time < minT {
+				minT = r.Time
+			}
+			if r.Time > maxT {
+				maxT = r.Time
+			}
+		}
+		s.Requests++
+		bytes += uint64(r.Size)
+		clients[r.Client] = struct{}{}
+		if st, ok := docs[r.URL]; ok && st.version == r.Version {
+			hits++
+			byteHits += uint64(r.Size)
+		} else {
+			docs[r.URL] = docState{version: r.Version, size: r.Size}
+		}
+	}
+	s.Clients = len(clients)
+	s.UniqueDocs = uint64(len(docs))
+	s.TotalBytes = bytes
+	for _, st := range docs {
+		s.InfiniteCacheSize += uint64(st.size)
+		if st.size <= CacheableLimit {
+			s.CacheableDocs++
+			s.CacheableBytes += uint64(st.size)
+		}
+	}
+	if s.Requests > 0 {
+		s.MaxHitRatio = float64(hits) / float64(s.Requests)
+		s.DurationSeconds = maxT - minT
+	}
+	if bytes > 0 {
+		s.MaxByteHitRatio = float64(byteHits) / float64(bytes)
+	}
+	return s
+}
+
+// String renders the stats as a Table I row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-9s reqs=%-8d clients=%-5d docs=%-8d infCache=%.1fMB dur=%ds maxHit=%.1f%% maxByteHit=%.1f%%",
+		s.Name, s.Requests, s.Clients, s.UniqueDocs,
+		float64(s.InfiniteCacheSize)/(1<<20), s.DurationSeconds,
+		100*s.MaxHitRatio, 100*s.MaxByteHitRatio)
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Time: 0, Client: 3, URL: "http://a.com/x", Size: 1024, Version: 0},
+		{Time: 5, Client: 0, URL: "http://b.com/y?q=1", Size: 99, Version: 2},
+		{Time: 5, Client: -7, URL: "http://c.com/", Size: 0, Version: -1},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range reqs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("read %d records, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestWriterRejectsWhitespaceURL(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(Request{URL: "http://a.com/has space"}); err == nil {
+		t.Fatal("accepted URL with space")
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0 1 10 0 http://a/\n  \n# trailing\n1 2 20 0 http://b/\n"
+	got, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].URL != "http://a/" || got[1].Client != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	bad := []string{
+		"1 2 3 http://a/",        // 4 fields
+		"x 2 3 0 http://a/",      // bad time
+		"1 x 3 0 http://a/",      // bad client
+		"1 2 x 0 http://a/",      // bad size
+		"1 2 -5 0 http://a/",     // negative size
+		"1 2 3 x http://a/",      // bad version
+		"1 2 3 0 http://a/ more", // 6 fields
+	}
+	for _, line := range bad {
+		if _, err := NewReader(strings.NewReader(line + "\n")).Read(); err == nil || err == io.EOF {
+			t.Errorf("line %q: expected parse error, got %v", line, err)
+		}
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	cases := []struct {
+		client, groups, want int
+	}{
+		{0, 4, 0}, {5, 4, 1}, {7, 4, 3}, {8, 4, 0},
+		{3, 0, 0},  // degenerate group count
+		{-3, 4, 1}, // negative client IDs still map into range
+	}
+	for _, c := range cases {
+		if got := (Request{Client: c.client}).Group(c.groups); got != c.want {
+			t.Errorf("Group(client=%d, n=%d) = %d, want %d", c.client, c.groups, got, c.want)
+		}
+	}
+}
+
+func TestQuickGroupInRange(t *testing.T) {
+	prop := func(client int, groups uint8) bool {
+		n := int(groups%16) + 1
+		g := (Request{Client: client}).Group(n)
+		return g >= 0 && g < n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	reqs := []Request{
+		{Time: 0, Client: 1, URL: "a", Size: 100, Version: 0},
+		{Time: 10, Client: 2, URL: "a", Size: 100, Version: 0}, // hit
+		{Time: 20, Client: 1, URL: "b", Size: 50, Version: 0},
+		{Time: 30, Client: 1, URL: "a", Size: 100, Version: 1}, // version change: miss
+		{Time: 40, Client: 3, URL: "a", Size: 100, Version: 1}, // hit again
+	}
+	s := ComputeStats("test", reqs)
+	if s.Requests != 5 || s.Clients != 3 || s.UniqueDocs != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxHitRatio != 0.4 {
+		t.Errorf("MaxHitRatio = %v, want 0.4 (2 of 5)", s.MaxHitRatio)
+	}
+	if s.InfiniteCacheSize != 150 {
+		t.Errorf("InfiniteCacheSize = %d, want 150", s.InfiniteCacheSize)
+	}
+	if s.TotalBytes != 450 {
+		t.Errorf("TotalBytes = %d, want 450", s.TotalBytes)
+	}
+	if s.MaxByteHitRatio != 200.0/450 {
+		t.Errorf("MaxByteHitRatio = %v", s.MaxByteHitRatio)
+	}
+	if s.DurationSeconds != 40 {
+		t.Errorf("Duration = %d", s.DurationSeconds)
+	}
+	if !strings.Contains(s.String(), "test") {
+		t.Error("String() missing name")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats("empty", nil)
+	if s.Requests != 0 || s.MaxHitRatio != 0 || s.MaxByteHitRatio != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}

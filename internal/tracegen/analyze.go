@@ -1,0 +1,101 @@
+package tracegen
+
+import (
+	"math"
+	"sort"
+
+	"summarycache/internal/trace"
+)
+
+// Popularity analysis: the paper's workload substitution (DESIGN.md §4)
+// rests on reproducing the Zipf-like popularity of Web traces. FitZipf
+// estimates the skew of an actual request stream so generated traces can
+// be validated against their configured alpha — and so external traces
+// fed through cmd/simulate -tracefile can be characterized.
+
+// PopularityStats summarizes a trace's document-popularity distribution.
+type PopularityStats struct {
+	UniqueDocs int
+	// Alpha is the fitted Zipf exponent (log-log regression of frequency
+	// on rank over the head of the distribution).
+	Alpha float64
+	// TopShare[k] is the fraction of requests absorbed by the most
+	// popular 10^-k of documents (index 1 = top 10%, 2 = top 1%).
+	Top10Share float64
+	Top1Share  float64
+	// OneTimers is the fraction of documents referenced exactly once —
+	// the "one-timer" mass Web-cache studies track.
+	OneTimers float64
+}
+
+// AnalyzePopularity computes popularity statistics for a request stream.
+func AnalyzePopularity(reqs []trace.Request) PopularityStats {
+	counts := make(map[string]int)
+	for _, r := range reqs {
+		counts[r.URL]++
+	}
+	if len(counts) == 0 {
+		return PopularityStats{}
+	}
+	freqs := make([]int, 0, len(counts))
+	oneTimers := 0
+	for _, c := range counts {
+		freqs = append(freqs, c)
+		if c == 1 {
+			oneTimers++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+
+	st := PopularityStats{
+		UniqueDocs: len(freqs),
+		OneTimers:  float64(oneTimers) / float64(len(freqs)),
+	}
+	total := len(reqs)
+	cum := 0
+	top10 := (len(freqs) + 9) / 10
+	top1 := (len(freqs) + 99) / 100
+	for i, f := range freqs {
+		cum += f
+		if i+1 == top10 {
+			st.Top10Share = float64(cum) / float64(total)
+		}
+		if i+1 == top1 {
+			st.Top1Share = float64(cum) / float64(total)
+		}
+	}
+	st.Alpha = fitZipf(freqs)
+	return st
+}
+
+// fitZipf estimates the Zipf exponent by least-squares regression of
+// log(frequency) on log(rank), restricted to the head of the distribution
+// (ranks with frequency ≥ 2) where the power law lives; the one-timer
+// tail is plateaued by discreteness and would bias the slope.
+func fitZipf(sortedFreqs []int) float64 {
+	var xs, ys []float64
+	for i, f := range sortedFreqs {
+		if f < 2 {
+			break
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(float64(f)))
+	}
+	if len(xs) < 3 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope // Zipf: freq ∝ rank^-alpha
+}

@@ -1,0 +1,74 @@
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"summarycache/internal/stats"
+	"summarycache/internal/trace"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := AnalyzePopularity(nil)
+	if st.UniqueDocs != 0 || st.Alpha != 0 {
+		t.Fatalf("empty analysis = %+v", st)
+	}
+}
+
+// A pure Zipf stream must fit back close to its configured exponent.
+func TestFitZipfRecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{0.6, 0.8, 1.0} {
+		z := stats.MustNewZipf(20000, alpha)
+		rng := rand.New(rand.NewSource(int64(alpha * 100)))
+		reqs := make([]trace.Request, 200000)
+		for i := range reqs {
+			reqs[i] = trace.Request{URL: fmt.Sprintf("http://d/%d", z.Sample(rng)), Client: 0, Size: 1}
+		}
+		st := AnalyzePopularity(reqs)
+		if d := st.Alpha - alpha; d < -0.12 || d > 0.12 {
+			t.Errorf("alpha=%.2f: fitted %.3f, off by %.3f", alpha, st.Alpha, d)
+		}
+	}
+}
+
+// Generated preset traces must exhibit Zipf-like skew: strong top-share
+// concentration and a fitted alpha in the web-trace band.
+func TestPresetTracesAreZipfLike(t *testing.T) {
+	reqs, cfg, err := GeneratePreset(DEC, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := AnalyzePopularity(reqs)
+	if st.UniqueDocs == 0 {
+		t.Fatal("no documents")
+	}
+	// Top 10% of documents must absorb far more than 10% of requests.
+	if st.Top10Share < 0.3 {
+		t.Errorf("top-10%% share %.3f too uniform", st.Top10Share)
+	}
+	if st.Top1Share >= st.Top10Share {
+		t.Error("top-1% share cannot exceed top-10% share")
+	}
+	// Fitted skew should be in the neighborhood of the configured alpha
+	// (locality reuse steepens the head slightly).
+	if st.Alpha < cfg.ZipfAlpha-0.25 || st.Alpha > cfg.ZipfAlpha+0.45 {
+		t.Errorf("fitted alpha %.3f far from configured %.2f", st.Alpha, cfg.ZipfAlpha)
+	}
+	// Web traces have substantial one-timer mass.
+	if st.OneTimers < 0.1 || st.OneTimers > 0.95 {
+		t.Errorf("one-timer fraction %.3f implausible", st.OneTimers)
+	}
+}
+
+func TestFitZipfDegenerate(t *testing.T) {
+	if fitZipf([]int{1, 1, 1}) != 0 {
+		t.Error("all one-timers should not fit")
+	}
+	if fitZipf([]int{5, 5}) != 0 {
+		t.Error("two points should not fit")
+	}
+	if fitZipf(nil) != 0 {
+		t.Error("empty should not fit")
+	}
+}

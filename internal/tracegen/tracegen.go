@@ -1,0 +1,277 @@
+// Package tracegen synthesizes HTTP request traces with the statistical
+// shape of the five proprietary traces used in the paper (DEC, UCB, UPisa,
+// Questnet, NLANR), which are not publicly available. This is the
+// substitution documented in DESIGN.md §4: Zipf document popularity,
+// per-client LRU-stack temporal locality, Pareto document sizes, a
+// configurable private/shared request mix (controlling how much inter-proxy
+// overlap — and hence remote-hit opportunity — exists), and a document
+// modification process that produces the cold misses and remote stale hits
+// the paper accounts for.
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"summarycache/internal/stats"
+	"summarycache/internal/trace"
+)
+
+// Config parameterizes a synthetic trace.
+type Config struct {
+	Name     string
+	Seed     int64
+	Requests int
+	Clients  int
+	Groups   int // proxy group count used downstream (metadata only here)
+
+	Docs      int     // size of the document universe
+	ZipfAlpha float64 // popularity skew of the shared document set
+	// URLsPerServer controls how many distinct documents share one server
+	// name; the paper observes "the ratio of different URLs to different
+	// server names is about 10 to 1". Defaults to 10.
+	URLsPerServer int
+
+	// SharedFraction is the probability that a fresh (non-reuse) reference
+	// draws from the globally shared popularity distribution; the remainder
+	// draws from the client's private document set. Higher values produce
+	// more inter-proxy overlap and thus more remote hits.
+	SharedFraction float64
+	// PrivateDocsPerClient sizes each client's private universe (default 200).
+	PrivateDocsPerClient int
+
+	// LocalityProb is the probability a request re-references a recently
+	// used document from the client's LRU stack (temporal locality).
+	LocalityProb float64
+	// LocalityStack and LocalityAlpha configure the per-client reuse stack.
+	LocalityStack int
+	LocalityAlpha float64
+
+	// Sizes draws document body sizes (bytes). Zero value uses
+	// stats.DefaultPareto.
+	Sizes stats.Pareto
+
+	// ModifyRate is the per-reference probability that the referenced
+	// document was modified since its last access (bumping its version and
+	// producing a consistency miss / remote stale hit downstream).
+	ModifyRate float64
+
+	// RequestsPerSecond spaces the synthetic timestamps (default 10/s).
+	RequestsPerSecond float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.URLsPerServer <= 0 {
+		c.URLsPerServer = 10
+	}
+	if c.PrivateDocsPerClient <= 0 {
+		c.PrivateDocsPerClient = 200
+	}
+	if c.LocalityStack <= 0 {
+		c.LocalityStack = 64
+	}
+	if c.LocalityAlpha <= 0 {
+		c.LocalityAlpha = 1.2
+	}
+	if c.Sizes == (stats.Pareto{}) {
+		c.Sizes = stats.DefaultPareto
+	}
+	if c.RequestsPerSecond <= 0 {
+		c.RequestsPerSecond = 10
+	}
+	if c.ZipfAlpha <= 0 {
+		c.ZipfAlpha = 0.8
+	}
+	if c.Groups <= 0 {
+		c.Groups = 1
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Requests <= 0 {
+		return fmt.Errorf("tracegen: Requests must be positive, got %d", c.Requests)
+	}
+	if c.Clients <= 0 {
+		return fmt.Errorf("tracegen: Clients must be positive, got %d", c.Clients)
+	}
+	if c.Docs <= 0 {
+		return fmt.Errorf("tracegen: Docs must be positive, got %d", c.Docs)
+	}
+	if c.SharedFraction < 0 || c.SharedFraction > 1 {
+		return fmt.Errorf("tracegen: SharedFraction must be in [0,1], got %v", c.SharedFraction)
+	}
+	if c.LocalityProb < 0 || c.LocalityProb > 1 {
+		return fmt.Errorf("tracegen: LocalityProb must be in [0,1], got %v", c.LocalityProb)
+	}
+	if c.ModifyRate < 0 || c.ModifyRate > 1 {
+		return fmt.Errorf("tracegen: ModifyRate must be in [0,1], got %v", c.ModifyRate)
+	}
+	return nil
+}
+
+// docID identifies a document: shared documents are [0, Docs); private
+// documents are encoded per client above that range.
+type docID int
+
+// Generate synthesizes the trace. Output is deterministic for a given
+// Config (including Seed).
+func Generate(cfg Config) ([]trace.Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop := stats.MustNewZipf(cfg.Docs, cfg.ZipfAlpha)
+	privPop := stats.MustNewZipf(cfg.PrivateDocsPerClient, cfg.ZipfAlpha)
+
+	sizes := make(map[docID]int64)
+	versions := make(map[docID]int64)
+	stacks := make([]*stats.StackSampler, cfg.Clients)
+	for i := range stacks {
+		stacks[i] = stats.MustNewStackSampler(cfg.LocalityStack, cfg.LocalityAlpha)
+	}
+
+	sizeOf := func(d docID) int64 {
+		if s, ok := sizes[d]; ok {
+			return s
+		}
+		s := cfg.Sizes.Sample(rng)
+		sizes[d] = s
+		return s
+	}
+
+	out := make([]trace.Request, 0, cfg.Requests)
+	interval := 1.0 / cfg.RequestsPerSecond
+	now := 0.0
+	for i := 0; i < cfg.Requests; i++ {
+		client := rng.Intn(cfg.Clients)
+		st := stacks[client]
+		var d docID
+		if rng.Float64() < cfg.LocalityProb {
+			if v, ok := st.Reuse(rng); ok {
+				d = docID(v)
+			} else {
+				d = freshDoc(cfg, rng, pop, privPop, client)
+			}
+		} else {
+			d = freshDoc(cfg, rng, pop, privPop, client)
+		}
+		st.Record(int(d))
+		if rng.Float64() < cfg.ModifyRate {
+			versions[d]++
+		}
+		out = append(out, trace.Request{
+			Time:    int64(now),
+			Client:  client,
+			URL:     urlOf(cfg, d),
+			Size:    sizeOf(d),
+			Version: versions[d],
+		})
+		now += interval
+	}
+	return out, nil
+}
+
+func freshDoc(cfg Config, rng *rand.Rand, pop, privPop *stats.Zipf, client int) docID {
+	if rng.Float64() < cfg.SharedFraction {
+		return docID(pop.Sample(rng))
+	}
+	// Private document: disjoint per-client range above the shared universe.
+	return docID(cfg.Docs + client*cfg.PrivateDocsPerClient + privPop.Sample(rng))
+}
+
+func urlOf(cfg Config, d docID) string {
+	server := int(d) / cfg.URLsPerServer
+	return fmt.Sprintf("http://s%d.example.com/doc%d.html", server, int(d))
+}
+
+// Preset names the five paper traces.
+type Preset string
+
+// The five trace presets, shaped after the paper's Table I workloads
+// (scaled; see DESIGN.md §4).
+const (
+	DEC      Preset = "DEC"      // corporate proxy, 16 groups, large population
+	UCB      Preset = "UCB"      // dial-in service, 8 groups
+	UPisa    Preset = "UPisa"    // CS department, 8 groups, small population
+	Questnet Preset = "Questnet" // regional network: requests are 12 child proxies' misses
+	NLANR    Preset = "NLANR"    // 4 top-level cache hierarchy proxies
+)
+
+// Presets returns the five presets in the paper's order.
+func Presets() []Preset { return []Preset{DEC, UCB, UPisa, Questnet, NLANR} }
+
+// PresetConfig builds the configuration for a named preset at the given
+// scale: scale 1.0 yields roughly 200k requests for the biggest trace;
+// smaller scales shrink requests and document universe proportionally
+// (keeping the requests:docs ratio, which is what hit ratios depend on).
+func PresetConfig(p Preset, scale float64) (Config, error) {
+	if scale <= 0 {
+		return Config{}, fmt.Errorf("tracegen: scale must be positive, got %v", scale)
+	}
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	switch p {
+	case DEC:
+		return Config{
+			Name: "DEC", Seed: 101,
+			Requests: n(200000), Clients: n(2000), Groups: 16,
+			Docs: n(100000), ZipfAlpha: 0.75,
+			SharedFraction: 0.75, PrivateDocsPerClient: 60,
+			LocalityProb: 0.28, ModifyRate: 0.006,
+		}, nil
+	case UCB:
+		return Config{
+			Name: "UCB", Seed: 102,
+			Requests: n(160000), Clients: n(1200), Groups: 8,
+			Docs: n(85000), ZipfAlpha: 0.75,
+			SharedFraction: 0.7, PrivateDocsPerClient: 70,
+			LocalityProb: 0.25, ModifyRate: 0.006,
+		}, nil
+	case UPisa:
+		return Config{
+			Name: "UPisa", Seed: 103,
+			Requests: n(120000), Clients: n(450), Groups: 8,
+			Docs: n(60000), ZipfAlpha: 0.78,
+			SharedFraction: 0.8, PrivateDocsPerClient: 100,
+			LocalityProb: 0.22, ModifyRate: 0.005,
+		}, nil
+	case Questnet:
+		// Child-proxy miss streams: each "client" is itself a proxy, so
+		// temporal locality is largely filtered out and the stream is
+		// colder; sharing across children remains.
+		return Config{
+			Name: "Questnet", Seed: 104,
+			Requests: n(150000), Clients: 12, Groups: 12,
+			Docs: n(130000), ZipfAlpha: 0.65,
+			SharedFraction: 0.6, PrivateDocsPerClient: 5000,
+			LocalityProb: 0.05, ModifyRate: 0.007,
+		}, nil
+	case NLANR:
+		return Config{
+			Name: "NLANR", Seed: 105,
+			Requests: n(180000), Clients: n(800), Groups: 4,
+			Docs: n(150000), ZipfAlpha: 0.7,
+			SharedFraction: 0.7, PrivateDocsPerClient: 110,
+			LocalityProb: 0.18, ModifyRate: 0.007,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("tracegen: unknown preset %q", p)
+	}
+}
+
+// GeneratePreset synthesizes a preset trace at the given scale.
+func GeneratePreset(p Preset, scale float64) ([]trace.Request, Config, error) {
+	cfg, err := PresetConfig(p, scale)
+	if err != nil {
+		return nil, Config{}, err
+	}
+	reqs, err := Generate(cfg)
+	return reqs, cfg, err
+}

@@ -1,0 +1,238 @@
+package tracegen
+
+import (
+	"testing"
+
+	"summarycache/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Requests: 0, Clients: 1, Docs: 1},
+		{Requests: 1, Clients: 0, Docs: 1},
+		{Requests: 1, Clients: 1, Docs: 0},
+		{Requests: 1, Clients: 1, Docs: 1, SharedFraction: 1.5},
+		{Requests: 1, Clients: 1, Docs: 1, LocalityProb: -0.1},
+		{Requests: 1, Clients: 1, Docs: 1, ModifyRate: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	cfg := Config{
+		Name: "t", Seed: 1, Requests: 5000, Clients: 20, Groups: 4,
+		Docs: 1000, SharedFraction: 0.7, LocalityProb: 0.4, ModifyRate: 0.01,
+	}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 5000 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	var lastT int64 = -1
+	for i, r := range reqs {
+		if r.Client < 0 || r.Client >= 20 {
+			t.Fatalf("request %d: client %d out of range", i, r.Client)
+		}
+		if r.Size <= 0 {
+			t.Fatalf("request %d: non-positive size %d", i, r.Size)
+		}
+		if r.URL == "" {
+			t.Fatalf("request %d: empty URL", i)
+		}
+		if r.Time < lastT {
+			t.Fatalf("request %d: time went backwards", i)
+		}
+		lastT = r.Time
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", Seed: 7, Requests: 2000, Clients: 10, Docs: 500,
+		SharedFraction: 0.5, LocalityProb: 0.3}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// A document's size must be stable across all references to it (versions
+// change, size identity stays — matching how the sim detects staleness via
+// version alone).
+func TestSizeStablePerURL(t *testing.T) {
+	cfg := Config{Name: "t", Seed: 3, Requests: 10000, Clients: 10, Docs: 300,
+		SharedFraction: 0.9, LocalityProb: 0.4, ModifyRate: 0.02}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int64{}
+	for _, r := range reqs {
+		if prev, ok := sizes[r.URL]; ok && prev != r.Size {
+			t.Fatalf("URL %s changed size %d → %d", r.URL, prev, r.Size)
+		}
+		sizes[r.URL] = r.Size
+	}
+}
+
+// Versions must be monotone non-decreasing per URL.
+func TestVersionsMonotone(t *testing.T) {
+	cfg := Config{Name: "t", Seed: 4, Requests: 10000, Clients: 5, Docs: 200,
+		SharedFraction: 1, LocalityProb: 0.5, ModifyRate: 0.05}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vers := map[string]int64{}
+	bumps := 0
+	for _, r := range reqs {
+		if prev, ok := vers[r.URL]; ok {
+			if r.Version < prev {
+				t.Fatalf("URL %s version regressed %d → %d", r.URL, prev, r.Version)
+			}
+			if r.Version > prev {
+				bumps++
+			}
+		}
+		vers[r.URL] = r.Version
+	}
+	if bumps == 0 {
+		t.Fatal("ModifyRate 0.05 produced no version bumps")
+	}
+}
+
+// Temporal locality must raise the single-cache hit ratio well above the
+// no-locality baseline.
+func TestLocalityRaisesHitRatio(t *testing.T) {
+	base := Config{Name: "t", Seed: 5, Requests: 30000, Clients: 20, Docs: 20000,
+		SharedFraction: 1.0, LocalityProb: 0}
+	warm := base
+	warm.LocalityProb = 0.6
+	cold, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Generate(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrCold := trace.ComputeStats("cold", cold).MaxHitRatio
+	hrHot := trace.ComputeStats("hot", hot).MaxHitRatio
+	if hrHot <= hrCold {
+		t.Fatalf("locality did not raise max hit ratio: hot=%.3f cold=%.3f", hrHot, hrCold)
+	}
+}
+
+// SharedFraction controls overlap between clients: with 0 sharing, no URL
+// should be requested by two different clients.
+func TestPrivateDocsDisjoint(t *testing.T) {
+	cfg := Config{Name: "t", Seed: 6, Requests: 5000, Clients: 8, Docs: 100,
+		SharedFraction: 0, LocalityProb: 0}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[string]int{}
+	for _, r := range reqs {
+		if prev, ok := owner[r.URL]; ok && prev != r.Client {
+			t.Fatalf("private URL %s requested by clients %d and %d", r.URL, prev, r.Client)
+		}
+		owner[r.URL] = r.Client
+	}
+}
+
+func TestURLServerRatio(t *testing.T) {
+	cfg := Config{Name: "t", Seed: 8, Requests: 40000, Clients: 10, Docs: 5000,
+		SharedFraction: 1, LocalityProb: 0, URLsPerServer: 10}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := map[string]bool{}
+	servers := map[string]bool{}
+	for _, r := range reqs {
+		urls[r.URL] = true
+		// Server name is the host component.
+		host := r.URL[len("http://"):]
+		for i := 0; i < len(host); i++ {
+			if host[i] == '/' {
+				host = host[:i]
+				break
+			}
+		}
+		servers[host] = true
+	}
+	ratio := float64(len(urls)) / float64(len(servers))
+	if ratio < 5 || ratio > 15 {
+		t.Errorf("URL:server ratio %.1f, want ≈10 (paper's observation)", ratio)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(Presets()) != 5 {
+		t.Fatal("expected 5 presets")
+	}
+	for _, p := range Presets() {
+		cfg, err := PresetConfig(p, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if cfg.Name != string(p) {
+			t.Errorf("%s: name mismatch %q", p, cfg.Name)
+		}
+		reqs, gcfg, err := GeneratePreset(p, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(reqs) != gcfg.Requests {
+			t.Errorf("%s: got %d requests, want %d", p, len(reqs), gcfg.Requests)
+		}
+		s := trace.ComputeStats(string(p), reqs)
+		if s.MaxHitRatio <= 0.05 {
+			t.Errorf("%s: implausibly low max hit ratio %.3f", p, s.MaxHitRatio)
+		}
+		// Group partitioning must populate every group at this scale.
+		groups := map[int]bool{}
+		for _, r := range reqs {
+			groups[r.Group(gcfg.Groups)] = true
+		}
+		if len(groups) != gcfg.Groups {
+			t.Errorf("%s: only %d of %d groups populated", p, len(groups), gcfg.Groups)
+		}
+	}
+	if _, err := PresetConfig("nope", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := PresetConfig(DEC, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{Name: "b", Seed: 1, Requests: 10000, Clients: 50, Docs: 5000,
+		SharedFraction: 0.7, LocalityProb: 0.4, ModifyRate: 0.005}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
