@@ -6,17 +6,25 @@
 // Usage:
 //
 //	proxybench -experiment=table2|table4|table5|all [-latency=20ms] [-clients=30] [-requests=200]
+//
+// With -admin set, an observability endpoint serves live /metrics,
+// /debug/vars and /debug/pprof/ for every proxy in the running mesh —
+// profile the benchmark while it runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"summarycache/internal/bench"
 	"summarycache/internal/httpproxy"
+	"summarycache/internal/obs"
 	"summarycache/internal/tracegen"
 )
 
@@ -27,7 +35,20 @@ var (
 	requests   = flag.Int("requests", 200, "requests per client (paper: 200)")
 	replayN    = flag.Int("replay", 12000, "trace requests to replay for tables 4/5 (paper: 24000)")
 	traceScale = flag.Float64("trace-scale", 0.25, "UPisa trace scale for replays")
+	adminAddr  = flag.String("admin", "", "admin listen address serving /metrics, /debug/vars and /debug/pprof/ for the live mesh (empty: disabled)")
 )
+
+// current is the registry of the mesh currently running; each benchmark
+// run starts fresh (sequential runs may reuse ephemeral ports, and stale
+// series from a finished mesh would otherwise be inherited). The admin
+// endpoint always serves the live run.
+var current atomic.Pointer[obs.Registry]
+
+func newRunRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	current.Store(reg)
+	return reg
+}
 
 var modes = []httpproxy.Mode{httpproxy.ModeNone, httpproxy.ModeICP, httpproxy.ModeSCICP}
 
@@ -40,6 +61,19 @@ func main() {
 }
 
 func run() error {
+	current.Store(obs.NewRegistry())
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen %q: %w", *adminAddr, err)
+		}
+		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			obs.NewHandler(current.Load(), nil).ServeHTTP(w, r)
+		})}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (/metrics /debug/vars /debug/pprof/)\n", ln.Addr())
+	}
 	want := func(n string) bool { return *experiment == "all" || *experiment == n }
 	if want("table2") {
 		for _, hr := range []float64{0.25, 0.45} {
@@ -89,6 +123,7 @@ func table2(hitRatio float64) error {
 			Disjoint:          true, // the paper's worst case: no remote hits
 			OriginLatency:     *latency,
 			Seed:              42, // "we use the same seeds ... to ensure comparable results"
+			Metrics:           newRunRegistry(),
 		})
 		if err != nil {
 			return err
@@ -118,6 +153,7 @@ func replay(a bench.Assignment, title string) error {
 			Assignment:    a,
 			Trace:         reqs,
 			OriginLatency: *latency,
+			Metrics:       newRunRegistry(),
 		})
 		if err != nil {
 			return err

@@ -6,15 +6,23 @@
 // Example 3-node mesh on one machine:
 //
 //	proxynode -http=127.0.0.1:3128 -icp=127.0.0.1:3130 -mode=scicp \
+//	    -admin=127.0.0.1:9128 \
 //	    -peer=127.0.0.1:3131,http://127.0.0.1:3129 &
 //	proxynode -http=127.0.0.1:3129 -icp=127.0.0.1:3131 -mode=scicp \
+//	    -admin=127.0.0.1:9129 \
 //	    -peer=127.0.0.1:3130,http://127.0.0.1:3128 &
+//
+// The -admin listener serves the observability plane: Prometheus metrics
+// at /metrics, expvar-style JSON at /debug/vars, pprof profiles at
+// /debug/pprof/, and peer-health at /healthz.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +31,7 @@ import (
 
 	"summarycache/internal/core"
 	"summarycache/internal/httpproxy"
+	"summarycache/internal/obs"
 )
 
 type peerList []string
@@ -33,11 +42,13 @@ func (p *peerList) Set(v string) error { *p = append(*p, v); return nil }
 var (
 	httpAddr  = flag.String("http", "127.0.0.1:3128", "HTTP listen address")
 	icpAddr   = flag.String("icp", "127.0.0.1:3130", "ICP (UDP) listen address")
+	adminAddr = flag.String("admin", "", "admin listen address serving /metrics, /debug/vars, /debug/pprof/ and /healthz (empty: disabled)")
 	mode      = flag.String("mode", "scicp", "cooperation mode: none, icp, scicp")
 	cacheMB   = flag.Int64("cache-mb", 256, "cache capacity in MB")
 	threshold = flag.Float64("threshold", 0.01, "summary update threshold (scicp)")
 	loadf     = flag.Float64("load-factor", 16, "Bloom filter bits per expected document (scicp)")
 	statsSec  = flag.Duration("stats-interval", 30*time.Second, "stats logging interval (0: off)")
+	healthSec = flag.Duration("health-interval", 0, "peer health-probe interval (scicp; 0: off)")
 	parentURL = flag.String("parent", "", "parent proxy HTTP base URL (hierarchical mode)")
 	peers     peerList
 )
@@ -68,6 +79,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg := obs.NewRegistry()
 	cacheBytes := *cacheMB << 20
 	p, err := httpproxy.Start(httpproxy.Config{
 		ListenAddr: *httpAddr,
@@ -80,16 +93,30 @@ func run() error {
 			UpdateThreshold: *threshold,
 		},
 		ParentURL: *parentURL,
+		Metrics:   reg,
+		Logger:    log,
 	})
 	if err != nil {
 		return err
 	}
 	defer p.Close()
-	fmt.Printf("proxynode: %v proxy on %s", m, p.URL())
+	attrs := []any{"mode", m.String(), "http", p.URL()}
 	if m != httpproxy.ModeNone {
-		fmt.Printf(", ICP on %v", p.ICPAddr())
+		attrs = append(attrs, "icp", p.ICPAddr().String())
 	}
-	fmt.Println()
+	log.Info("proxy up", attrs...)
+
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen %q: %w", *adminAddr, err)
+		}
+		admin := &http.Server{Handler: obs.NewHandler(reg, p.Health())}
+		go admin.Serve(ln)
+		defer admin.Close()
+		log.Info("admin endpoint up", "addr", ln.Addr().String(),
+			"endpoints", "/metrics /debug/vars /debug/pprof/ /healthz")
+	}
 
 	for _, spec := range peers {
 		parts := strings.SplitN(spec, ",", 2)
@@ -103,7 +130,27 @@ func run() error {
 		if err := p.AddPeer(ua, parts[1]); err != nil {
 			return err
 		}
-		fmt.Printf("proxynode: peered with %s (%s)\n", parts[0], parts[1])
+		log.Info("peered", "icp", parts[0], "http", parts[1])
+	}
+	if *healthSec > 0 {
+		stop := p.StartHealthChecks(core.HealthConfig{Interval: *healthSec})
+		defer stop()
+	}
+
+	logStats := func(msg string) {
+		st := p.Stats()
+		log.Info(msg,
+			"requests", st.ClientRequests,
+			"local_hits", st.LocalHits,
+			"remote_hits", st.RemoteHits,
+			"misses", st.Misses,
+			"false_hits", st.FalseHits,
+			"origin_fetches", st.OriginFetches,
+			"udp_sent", st.UDP.Sent,
+			"udp_received", st.UDP.Received,
+			"udp_send_errors", st.UDP.SendErrors,
+			"cached_docs", p.CacheLen(),
+		)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -117,13 +164,13 @@ func run() error {
 	for {
 		select {
 		case <-stop:
-			fmt.Println("proxynode: shutting down")
+			// The final partial interval would otherwise be lost: flush a
+			// last stats line before exiting.
+			logStats("final stats")
+			log.Info("shutting down")
 			return nil
 		case <-tick:
-			st := p.Stats()
-			fmt.Printf("proxynode: reqs=%d localHits=%d remoteHits=%d misses=%d udp=%d/%d cached=%d docs\n",
-				st.ClientRequests, st.LocalHits, st.RemoteHits, st.Misses,
-				st.UDP.Sent, st.UDP.Received, p.CacheLen())
+			logStats("stats")
 		}
 	}
 }

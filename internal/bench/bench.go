@@ -19,6 +19,7 @@ import (
 
 	"summarycache/internal/core"
 	"summarycache/internal/httpproxy"
+	"summarycache/internal/obs"
 	"summarycache/internal/origin"
 	"summarycache/internal/stats"
 	"summarycache/internal/trace"
@@ -51,6 +52,10 @@ type SyntheticConfig struct {
 	// the prototype's one-IP-packet default).
 	MinUpdateFlips int
 	Seed           int64
+	// Metrics, when set, is shared by every proxy in the mesh so one
+	// admin endpoint (proxybench -admin) exposes the whole run; each
+	// proxy's series are distinguished by its proxy="<addr>" label.
+	Metrics *obs.Registry
 }
 
 func (c *SyntheticConfig) applyDefaults() {
@@ -119,7 +124,7 @@ type testbed struct {
 	client  *http.Client
 }
 
-func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int) (*testbed, error) {
+func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int, reg *obs.Registry) (*testbed, error) {
 	org, err := origin.Start(origin.Config{Latency: originLatency})
 	if err != nil {
 		return nil, err
@@ -138,6 +143,7 @@ func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatenc
 			},
 			MinUpdateFlips: minFlips,
 			QueryTimeout:   2 * time.Second,
+			Metrics:        reg,
 		})
 		if err != nil {
 			tb.Close()
@@ -224,7 +230,7 @@ func (tb *testbed) collect(r *Result) {
 // RunSynthetic executes one Table II-style benchmark run.
 func RunSynthetic(cfg SyntheticConfig) (Result, error) {
 	cfg.applyDefaults()
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics)
 	if err != nil {
 		return Result{}, err
 	}
@@ -334,6 +340,9 @@ type ReplayConfig struct {
 	UpdateThreshold float64
 	// MinUpdateFlips forwards to the SC-ICP packet-fill batching.
 	MinUpdateFlips int
+	// Metrics, when set, is shared by every proxy in the mesh (see
+	// SyntheticConfig.Metrics).
+	Metrics *obs.Registry
 }
 
 // RunReplay executes one trace-replay benchmark run.
@@ -353,7 +362,7 @@ func RunReplay(cfg ReplayConfig) (Result, error) {
 	if len(cfg.Trace) == 0 {
 		return Result{}, fmt.Errorf("bench: empty trace")
 	}
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics)
 	if err != nil {
 		return Result{}, err
 	}

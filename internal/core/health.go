@@ -132,6 +132,9 @@ func (h *healthMonitor) record(addr *net.UDPAddr, alive bool) {
 		// A dead neighbor must not attract queries: drop its replica.
 		// (Its address registration stays; recovery re-learns the rest.)
 		h.node.peers.Drop(id)
+		h.node.health.SetPeer(id, false)
+		h.node.log.Warn("peer down", "peer", id,
+			"consecutive_misses", h.cfg.FailureThreshold)
 		if h.cfg.OnChange != nil {
 			h.cfg.OnChange(addr, false)
 		}
@@ -140,6 +143,8 @@ func (h *healthMonitor) record(addr *net.UDPAddr, alive bool) {
 		// full state ("reinitializes a failed neighbor's bit array when it
 		// recovers").
 		_ = h.node.sendFullState(addr)
+		h.node.health.SetPeer(id, true)
+		h.node.log.Info("peer up", "peer", id)
 		if h.cfg.OnChange != nil {
 			h.cfg.OnChange(addr, true)
 		}

@@ -3,12 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"summarycache/internal/icp"
+	"summarycache/internal/obs"
 )
 
 // DefaultQueryTimeout bounds how long a node waits for ICP replies before
@@ -64,6 +65,15 @@ type NodeConfig struct {
 	// messages"). Peers added with AddPeerTCP receive this node's updates
 	// over TCP; queries and replies stay on UDP.
 	TCPUpdateAddr string
+	// Metrics, when set, is the registry the node instruments itself
+	// against; series carry a node="<udp addr>" label so several nodes
+	// can share one registry. Nil: a private registry is created (the
+	// counters behind Stats always exist either way).
+	Metrics *obs.Registry
+	// Logger, when set, receives structured protocol events (peer
+	// up/down transitions, summary publications, peer filter rebuilds).
+	// Nil: events are discarded.
+	Logger *slog.Logger
 }
 
 // NodeStats counts a node's protocol activity.
@@ -75,7 +85,47 @@ type NodeStats struct {
 	UpdatesSent     uint64 // DIRUPDATE datagrams sent
 	UpdatesReceived uint64 // DIRUPDATE datagrams applied
 	UpdateEvents    uint64 // threshold-triggered publications
+	FlipsPublished  uint64 // bit flips shipped in updates
+	FilterRebuilds  uint64 // peer replicas created, re-created or reset
 	UDP             icp.Stats
+}
+
+// nodeMetrics are the registry-backed instruments behind NodeStats: the
+// Stats snapshot and the /metrics exposition read the very same counters,
+// so the two can never disagree.
+type nodeMetrics struct {
+	queriesSent, queriesRecv *obs.Counter
+	remoteHits, falseHits    *obs.Counter
+	updatesSent, updatesRecv *obs.Counter
+	updateEvents             *obs.Counter
+	flipsPublished           *obs.Counter
+	filterRebuilds           *obs.Counter
+	queryRTT                 *obs.Histogram
+}
+
+func newNodeMetrics(reg *obs.Registry, labels obs.Labels) nodeMetrics {
+	return nodeMetrics{
+		queriesSent: reg.Counter("summarycache_node_queries_sent_total",
+			"ICP queries issued by Lookup", labels),
+		queriesRecv: reg.Counter("summarycache_node_queries_received_total",
+			"peer ICP queries answered", labels),
+		remoteHits: reg.Counter("summarycache_node_remote_hits_total",
+			"Lookups resolved by a peer HIT", labels),
+		falseHits: reg.Counter("summarycache_node_false_hits_total",
+			"Lookups whose queried candidates all replied MISS", labels),
+		updatesSent: reg.Counter("summarycache_node_updates_sent_total",
+			"DIRUPDATE messages sent", labels),
+		updatesRecv: reg.Counter("summarycache_node_updates_received_total",
+			"DIRUPDATE messages applied", labels),
+		updateEvents: reg.Counter("summarycache_node_update_events_total",
+			"threshold- or timer-triggered summary publications", labels),
+		flipsPublished: reg.Counter("summarycache_node_flips_published_total",
+			"bit flips shipped in directory updates", labels),
+		filterRebuilds: reg.Counter("summarycache_node_filter_rebuilds_total",
+			"peer summary replicas created, re-created or reset", labels),
+		queryRTT: reg.Histogram("summarycache_node_query_rtt_seconds",
+			"round-trip time of Lookup's ICP query fan-out", labels, nil),
+	}
 }
 
 // Node is a summary-cache enhanced ICP endpoint: it answers peer queries
@@ -93,10 +143,10 @@ type Node struct {
 	peerAddrs map[string]*net.UDPAddr
 	publishMu sync.Mutex // serializes threshold publications
 
-	queriesSent, queriesRecv atomic.Uint64
-	remoteHits, falseHits    atomic.Uint64
-	updatesSent, updatesRecv atomic.Uint64
-	updateEvents             atomic.Uint64
+	metrics nodeMetrics
+	reg     *obs.Registry
+	health  *obs.Health
+	log     *slog.Logger
 
 	stopTimer chan struct{}       // closes on Close when PublishInterval is set
 	mcast     *icp.MulticastGroup // nil unless MulticastGroup configured
@@ -134,12 +184,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		peers:     NewPeerTable(),
 		peerAddrs: make(map[string]*net.UDPAddr),
 		tcpPeers:  make(map[string]*icp.TCPClient),
+		health:    obs.NewHealth(),
+		log:       obs.OrNop(cfg.Logger),
 	}
 	conn, err := icp.Listen(cfg.ListenAddr, n.handle)
 	if err != nil {
 		return nil, err
 	}
 	n.conn = conn
+	n.initMetrics(cfg.Metrics)
 	if cfg.MulticastGroup != "" {
 		mg, err := icp.JoinMulticast(cfg.MulticastGroup, cfg.MulticastInterface, n.handleMulticast)
 		if err != nil {
@@ -165,6 +218,71 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	return n, nil
 }
 
+// initMetrics wires the node's instruments into reg (or a private registry
+// when nil), labeling every series with the node's bound address, and
+// re-exports the UDP endpoint's own counters so netstat-style accounting
+// and protocol counters live in one exposition.
+func (n *Node) initMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	n.reg = reg
+	labels := obs.L("node", n.Addr().String())
+	n.metrics = newNodeMetrics(reg, labels)
+	n.log = n.log.With("node", n.Addr().String())
+	st := func(f func(icp.Stats) uint64) func() uint64 {
+		return func() uint64 { return f(n.conn.Stats()) }
+	}
+	reg.CounterFunc("summarycache_udp_sent_total",
+		"UDP datagrams sent by the ICP endpoint", labels,
+		st(func(s icp.Stats) uint64 { return s.Sent }))
+	reg.CounterFunc("summarycache_udp_received_total",
+		"UDP datagrams received by the ICP endpoint", labels,
+		st(func(s icp.Stats) uint64 { return s.Received }))
+	reg.CounterFunc("summarycache_udp_sent_bytes_total",
+		"UDP bytes sent by the ICP endpoint", labels,
+		st(func(s icp.Stats) uint64 { return s.SentBytes }))
+	reg.CounterFunc("summarycache_udp_received_bytes_total",
+		"UDP bytes received by the ICP endpoint", labels,
+		st(func(s icp.Stats) uint64 { return s.RecvBytes }))
+	reg.CounterFunc("summarycache_udp_dropped_total",
+		"undecodable or unroutable datagrams", labels,
+		st(func(s icp.Stats) uint64 { return s.Dropped }))
+	reg.CounterFunc("summarycache_udp_send_errors_total",
+		"UDP transmissions rejected by the network layer", labels,
+		st(func(s icp.Stats) uint64 { return s.SendErrors }))
+	reg.GaugeFunc("summarycache_node_peers_up",
+		"registered peers currently believed up", labels,
+		func() float64 { return float64(n.health.UpCount()) })
+	reg.GaugeFunc("summarycache_node_peers_known",
+		"registered peer addresses", labels,
+		func() float64 {
+			n.mu.RLock()
+			defer n.mu.RUnlock()
+			return float64(len(n.peerAddrs))
+		})
+	reg.GaugeFunc("summarycache_node_peer_summary_bytes",
+		"memory held by peer summary replicas", labels,
+		func() float64 { return float64(n.peers.MemoryBytes()) })
+	reg.GaugeFunc("summarycache_node_directory_docs",
+		"documents summarized in the local directory", labels,
+		func() float64 { return float64(n.dir.Docs()) })
+	reg.GaugeFunc("summarycache_node_pending_flips",
+		"unpublished bit flips in the directory journal", labels,
+		func() float64 { return float64(n.dir.PendingFlips()) })
+	n.peers.SetRebuildObserver(func(peer, reason string) {
+		n.metrics.filterRebuilds.Inc()
+		n.log.Info("peer filter rebuilt", "peer", peer, "reason", reason)
+	})
+}
+
+// Metrics returns the registry the node instruments itself against.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// Health returns the peer up/down tracker backing /healthz. Peers are
+// presumed up when registered; StartHealthChecks drives transitions.
+func (n *Node) Health() *obs.Health { return n.health }
+
 // TCPUpdateAddr returns the TCP update-channel address (nil if disabled).
 func (n *Node) TCPUpdateAddr() net.Addr {
 	if n.tcpSrv == nil {
@@ -187,7 +305,7 @@ func (n *Node) handleTCPUpdate(from *net.UDPAddr, m icp.Message) {
 	}
 	full := m.Options&icp.OptionFullUpdate != 0
 	if err := n.peers.ApplyUpdate(id.String(), m.Update, full); err == nil {
-		n.updatesRecv.Add(1)
+		n.metrics.updatesRecv.Inc()
 	}
 }
 
@@ -201,6 +319,7 @@ func (n *Node) AddPeerTCP(udpAddr *net.UDPAddr, tcpAddr string) error {
 	n.tcpMu.Lock()
 	n.tcpPeers[udpAddr.String()] = icp.NewTCPClient(tcpAddr, 0)
 	n.tcpMu.Unlock()
+	n.health.SetPeer(udpAddr.String(), true)
 	return n.sendFullState(udpAddr)
 }
 
@@ -291,20 +410,24 @@ func (n *Node) handleMulticast(from *net.UDPAddr, m icp.Message) {
 	}
 	full := m.Options&icp.OptionFullUpdate != 0
 	if err := n.peers.ApplyUpdate(from.String(), m.Update, full); err == nil {
-		n.updatesRecv.Add(1)
+		n.metrics.updatesRecv.Inc()
 	}
 }
 
-// Stats snapshots the node's counters.
+// Stats snapshots the node's counters. The values are read from the same
+// registry-backed instruments /metrics exposes, so a scrape and a Stats
+// call taken at the same quiescent moment agree exactly.
 func (n *Node) Stats() NodeStats {
 	return NodeStats{
-		QueriesSent:     n.queriesSent.Load(),
-		QueriesReceived: n.queriesRecv.Load(),
-		RemoteHits:      n.remoteHits.Load(),
-		FalseHits:       n.falseHits.Load(),
-		UpdatesSent:     n.updatesSent.Load(),
-		UpdatesReceived: n.updatesRecv.Load(),
-		UpdateEvents:    n.updateEvents.Load(),
+		QueriesSent:     n.metrics.queriesSent.Value(),
+		QueriesReceived: n.metrics.queriesRecv.Value(),
+		RemoteHits:      n.metrics.remoteHits.Value(),
+		FalseHits:       n.metrics.falseHits.Value(),
+		UpdatesSent:     n.metrics.updatesSent.Value(),
+		UpdatesReceived: n.metrics.updatesRecv.Value(),
+		UpdateEvents:    n.metrics.updateEvents.Value(),
+		FlipsPublished:  n.metrics.flipsPublished.Value(),
+		FilterRebuilds:  n.metrics.filterRebuilds.Value(),
 		UDP:             n.conn.Stats(),
 	}
 }
@@ -315,6 +438,7 @@ func (n *Node) AddPeer(addr *net.UDPAddr) error {
 	n.mu.Lock()
 	n.peerAddrs[addr.String()] = addr
 	n.mu.Unlock()
+	n.health.SetPeer(addr.String(), true)
 	return n.sendFullState(addr)
 }
 
@@ -323,6 +447,7 @@ func (n *Node) RemovePeer(addr *net.UDPAddr) {
 	n.mu.Lock()
 	delete(n.peerAddrs, addr.String())
 	n.mu.Unlock()
+	n.health.RemovePeer(addr.String())
 	n.tcpMu.Lock()
 	if c := n.tcpPeers[addr.String()]; c != nil {
 		c.Close()
@@ -386,14 +511,17 @@ func (n *Node) publishLocked() {
 	if len(flips) == 0 {
 		return
 	}
-	n.updateEvents.Add(1)
+	n.metrics.updateEvents.Inc()
+	n.metrics.flipsPublished.Add(uint64(len(flips)))
 	msgs := icp.SplitUpdate(n.conn.NextReqNum(), n.dir.Spec(), uint32(n.dir.Bits()), flips, n.cfg.MaxFlipsPerUpdate)
 	n.stampIdentity(msgs)
+	n.log.Info("summary published", "flips", len(flips), "messages", len(msgs),
+		"multicast", n.groupAddr != nil)
 	if n.groupAddr != nil {
 		// One datagram to the group replaces N−1 unicasts.
 		for _, m := range msgs {
 			if err := n.conn.Send(n.groupAddr, m); err == nil {
-				n.updatesSent.Add(1)
+				n.metrics.updatesSent.Inc()
 			}
 		}
 		return
@@ -401,7 +529,7 @@ func (n *Node) publishLocked() {
 	for _, addr := range n.PeerAddrs() {
 		for _, m := range msgs {
 			if err := n.sendUpdate(addr, m); err == nil {
-				n.updatesSent.Add(1)
+				n.metrics.updatesSent.Inc()
 			}
 		}
 	}
@@ -442,7 +570,7 @@ func (n *Node) sendFullState(addr *net.UDPAddr) error {
 		if err := n.sendUpdate(addr, m); err != nil {
 			return err
 		}
-		n.updatesSent.Add(1)
+		n.metrics.updatesSent.Inc()
 	}
 	return nil
 }
@@ -479,18 +607,20 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 	if len(addrs) == 0 {
 		return nil, 0, nil
 	}
-	n.queriesSent.Add(uint64(len(addrs)))
+	n.metrics.queriesSent.Add(uint64(len(addrs)))
 	qctx, cancel := context.WithTimeout(ctx, n.cfg.QueryTimeout)
 	defer cancel()
+	start := time.Now()
 	ok, from, err := n.conn.QueryAll(qctx, addrs, url)
+	n.metrics.queryRTT.ObserveDuration(time.Since(start))
 	if err != nil {
 		return nil, len(addrs), err
 	}
 	if ok {
-		n.remoteHits.Add(1)
+		n.metrics.remoteHits.Inc()
 		return from, len(addrs), nil
 	}
-	n.falseHits.Add(1)
+	n.metrics.falseHits.Inc()
 	return nil, len(addrs), nil
 }
 
@@ -498,7 +628,7 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 func (n *Node) handle(from *net.UDPAddr, m icp.Message) {
 	switch m.Op {
 	case icp.OpQuery:
-		n.queriesRecv.Add(1)
+		n.metrics.queriesRecv.Inc()
 		op := icp.OpMiss
 		if n.cfg.HasDocument(m.URL) {
 			op = icp.OpHit
@@ -507,7 +637,7 @@ func (n *Node) handle(from *net.UDPAddr, m icp.Message) {
 	case icp.OpDirUpdate:
 		full := m.Options&icp.OptionFullUpdate != 0
 		if err := n.peers.ApplyUpdate(from.String(), m.Update, full); err == nil {
-			n.updatesRecv.Add(1)
+			n.metrics.updatesRecv.Inc()
 		}
 	}
 }

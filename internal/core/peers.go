@@ -16,8 +16,9 @@ import (
 // received from the neighbor." Keys are opaque peer identifiers (the node
 // layer uses UDP address strings). PeerTable is safe for concurrent use.
 type PeerTable struct {
-	mu    sync.RWMutex
-	peers map[string]*peerSummary
+	mu        sync.RWMutex
+	peers     map[string]*peerSummary
+	onRebuild func(peer, reason string)
 }
 
 type peerSummary struct {
@@ -30,6 +31,16 @@ type peerSummary struct {
 // NewPeerTable creates an empty table.
 func NewPeerTable() *PeerTable {
 	return &PeerTable{peers: make(map[string]*peerSummary)}
+}
+
+// SetRebuildObserver installs a callback fired (outside the table lock)
+// whenever a peer's replica filter is built from scratch: first contact,
+// a geometry change announced in an update, or a full-state reset. The
+// node layer uses it for the filter-rebuild counter and event log.
+func (pt *PeerTable) SetRebuildObserver(fn func(peer, reason string)) {
+	pt.mu.Lock()
+	pt.onRebuild = fn
+	pt.mu.Unlock()
 }
 
 // Len returns the number of peers with initialized summaries.
@@ -68,22 +79,35 @@ func (pt *PeerTable) ApplyUpdate(peer string, u *icp.DirUpdate, full bool) error
 		return fmt.Errorf("core: update from %s announces empty bit array", peer)
 	}
 	pt.mu.Lock()
-	defer pt.mu.Unlock()
+	rebuilt := ""
 	ps := pt.peers[peer]
 	if ps == nil || ps.spec != u.Spec || ps.filter.Size() != uint64(u.Bits) {
 		f, err := bloom.NewFilter(uint64(u.Bits), u.Spec)
 		if err != nil {
+			pt.mu.Unlock()
 			return fmt.Errorf("core: update from %s: %w", peer, err)
+		}
+		if ps == nil {
+			rebuilt = "first-contact"
+		} else {
+			rebuilt = "geometry-change"
 		}
 		ps = &peerSummary{filter: f, spec: u.Spec}
 		pt.peers[peer] = ps
 	} else if full {
 		ps.filter.Reset()
+		rebuilt = "full-reset"
 	}
 	if err := ps.filter.Apply(u.Flips); err != nil {
+		pt.mu.Unlock()
 		return fmt.Errorf("core: update from %s: %w", peer, err)
 	}
 	ps.updates++
+	fn := pt.onRebuild
+	pt.mu.Unlock()
+	if rebuilt != "" && fn != nil {
+		fn(peer, rebuilt)
+	}
 	return nil
 }
 

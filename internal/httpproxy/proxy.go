@@ -12,17 +12,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"summarycache/internal/core"
 	"summarycache/internal/icp"
 	"summarycache/internal/lru"
+	"summarycache/internal/obs"
 )
 
 // Mode selects the cooperation protocol.
@@ -95,6 +96,15 @@ type Config struct {
 	SingleCopy bool
 	// QueryTimeout bounds ICP query waits.
 	QueryTimeout time.Duration
+	// Metrics, when set, is the registry the proxy (and its SC-ICP node)
+	// instruments itself against; series carry a proxy="<http addr>"
+	// label so a whole mesh can share one registry and one /metrics
+	// exposition. Nil: a private registry is created.
+	Metrics *obs.Registry
+	// Logger, when set, receives structured events from the proxy's
+	// protocol node (peer transitions, summary publications). Nil:
+	// events are discarded.
+	Logger *slog.Logger
 }
 
 // Stats counts proxy activity.
@@ -103,8 +113,12 @@ type Stats struct {
 	LocalHits      uint64
 	RemoteHits     uint64 // misses served from a sibling cache
 	Misses         uint64 // served from the origin
-	OriginFetches  uint64
-	PeerFetches    uint64 // sibling cache-only fetches issued
+	// FalseHits counts requests that fell through to the origin after a
+	// sibling indication failed: summaries nominated candidates that all
+	// replied MISS, or a sibling claimed a HIT it could not deliver.
+	FalseHits     uint64
+	OriginFetches uint64
+	PeerFetches   uint64 // sibling cache-only fetches issued
 	// HTTPMessages approximates the paper's TCP packet accounting at the
 	// application level: every HTTP transaction is a request plus a
 	// response.
@@ -113,6 +127,52 @@ type Stats struct {
 	UDP icp.Stats
 	// Node carries summary-protocol counters (ModeSCICP only).
 	Node core.NodeStats
+}
+
+// Request outcomes, the label values splitting the latency histogram: the
+// hit classes of the paper's tables plus the false-hit class its summary
+// analysis revolves around.
+const (
+	outcomeLocalHit  = "local_hit"
+	outcomeRemoteHit = "remote_hit"
+	outcomeMiss      = "miss"
+	outcomeFalseHit  = "false_hit"
+)
+
+// proxyMetrics are the registry-backed instruments behind Stats.
+type proxyMetrics struct {
+	clientReqs, localHits, remoteHits *obs.Counter
+	misses, falseHits                 *obs.Counter
+	originFetches, peerFetches        *obs.Counter
+	inflight                          *obs.Gauge
+	latency                           map[string]*obs.Histogram // by outcome
+}
+
+func newProxyMetrics(reg *obs.Registry, labels obs.Labels) proxyMetrics {
+	m := proxyMetrics{
+		clientReqs: reg.Counter("summarycache_proxy_requests_total",
+			"client requests served", labels),
+		localHits: reg.Counter("summarycache_proxy_local_hits_total",
+			"requests served from the local cache", labels),
+		remoteHits: reg.Counter("summarycache_proxy_remote_hits_total",
+			"requests served from a sibling cache", labels),
+		misses: reg.Counter("summarycache_proxy_misses_total",
+			"requests served from the origin", labels),
+		falseHits: reg.Counter("summarycache_proxy_false_hits_total",
+			"origin fetches preceded by a failed sibling indication", labels),
+		originFetches: reg.Counter("summarycache_proxy_origin_fetches_total",
+			"fetches issued to the origin (or parent)", labels),
+		peerFetches: reg.Counter("summarycache_proxy_peer_fetches_total",
+			"sibling cache-only fetches issued", labels),
+		inflight: reg.Gauge("summarycache_proxy_inflight_requests",
+			"client requests currently being served", labels),
+		latency: make(map[string]*obs.Histogram),
+	}
+	for _, o := range []string{outcomeLocalHit, outcomeRemoteHit, outcomeMiss, outcomeFalseHit} {
+		m.latency[o] = reg.Histogram("summarycache_proxy_request_seconds",
+			"client request latency by outcome", labels.With("outcome", o), nil)
+	}
+	return m
 }
 
 // Proxy is a running caching proxy.
@@ -134,8 +194,9 @@ type Proxy struct {
 	srv    *http.Server
 	client *http.Client
 
-	clientReqs, localHits, remoteHits, misses atomic.Uint64
-	originFetches, peerFetches                atomic.Uint64
+	metrics proxyMetrics
+	reg     *obs.Registry
+	health  *obs.Health // non-node modes; ModeSCICP delegates to the node
 }
 
 // Start launches a proxy.
@@ -173,12 +234,29 @@ func Start(cfg Config) (*Proxy, error) {
 	}
 	p.cache = cache
 
+	// The HTTP listener comes first: its bound address labels every
+	// metric series this proxy registers.
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("httpproxy: listen %q: %w", cfg.ListenAddr, err)
+	}
+	p.ln = ln
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	p.reg = reg
+	labels := obs.L("proxy", ln.Addr().String())
+	p.metrics = newProxyMetrics(reg, labels)
+	p.registerCacheMetrics(reg, labels)
+
 	switch cfg.Mode {
 	case ModeNone:
 		// no protocol endpoint
 	case ModeICP:
 		conn, err := icp.Listen(cfg.ICPAddr, p.handleICP)
 		if err != nil {
+			ln.Close()
 			return nil, err
 		}
 		p.icpConn = conn
@@ -190,24 +268,70 @@ func Start(cfg Config) (*Proxy, error) {
 			HasDocument:       p.cache.Contains,
 			MinFlipsToPublish: cfg.MinUpdateFlips,
 			QueryTimeout:      cfg.QueryTimeout,
+			Metrics:           reg,
+			Logger:            cfg.Logger,
 		})
 		if err != nil {
+			ln.Close()
 			return nil, err
 		}
 		p.node = node
 	default:
+		ln.Close()
 		return nil, fmt.Errorf("httpproxy: unknown mode %v", cfg.Mode)
 	}
-
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
-	if err != nil {
-		p.closeProtocol()
-		return nil, fmt.Errorf("httpproxy: listen %q: %w", cfg.ListenAddr, err)
+	if p.node == nil {
+		p.health = obs.NewHealth()
 	}
-	p.ln = ln
+
 	p.srv = &http.Server{Handler: p}
 	go p.srv.Serve(ln)
 	return p, nil
+}
+
+// registerCacheMetrics re-exports the document cache's own accounting
+// (entries, bytes, evictions by cause, staleness invalidations) into the
+// registry as scrape-time reads — one source of truth.
+func (p *Proxy) registerCacheMetrics(reg *obs.Registry, labels obs.Labels) {
+	reg.GaugeFunc("summarycache_cache_entries",
+		"documents in the local cache", labels,
+		func() float64 { return float64(p.cache.Len()) })
+	reg.GaugeFunc("summarycache_cache_bytes",
+		"bytes in the local cache", labels,
+		func() float64 { return float64(p.cache.Bytes()) })
+	reg.CounterFunc("summarycache_cache_evictions_total",
+		"documents displaced by LRU replacement", labels.With("reason", "capacity"),
+		func() uint64 { return p.cache.Counters().EvictedCapacity })
+	reg.CounterFunc("summarycache_cache_evictions_total",
+		"documents explicitly removed", labels.With("reason", "removed"),
+		func() uint64 { return p.cache.Counters().Removed })
+	reg.CounterFunc("summarycache_cache_invalidations_total",
+		"staleness invalidations: cached documents replaced by a new version",
+		labels,
+		func() uint64 { return p.cache.Counters().Updated })
+}
+
+// Registry returns the registry the proxy instruments itself against —
+// what an admin endpoint serves.
+func (p *Proxy) Registry() *obs.Registry { return p.reg }
+
+// Health returns the peer up/down tracker backing /healthz. In ModeSCICP
+// it is the protocol node's tracker (driven by StartHealthChecks); in the
+// other modes peers are registered but never probed, so they stay up.
+func (p *Proxy) Health() *obs.Health {
+	if p.node != nil {
+		return p.node.Health()
+	}
+	return p.health
+}
+
+// StartHealthChecks begins probing SC-ICP peers (no-op stop function in
+// the other modes, which have no prober).
+func (p *Proxy) StartHealthChecks(cfg core.HealthConfig) (stop func()) {
+	if p.node == nil {
+		return func() {}
+	}
+	return p.node.StartHealthChecks(cfg)
 }
 
 func (p *Proxy) closeProtocol() {
@@ -255,18 +379,22 @@ func (p *Proxy) AddPeer(icpAddr *net.UDPAddr, httpURL string) error {
 	if p.cfg.Mode == ModeSCICP {
 		return p.node.AddPeer(icpAddr)
 	}
+	p.health.SetPeer(icpAddr.String(), true)
 	return nil
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. The values are read from the same
+// registry-backed instruments /metrics exposes, so a scrape and a Stats
+// call taken at the same quiescent moment agree exactly.
 func (p *Proxy) Stats() Stats {
 	s := Stats{
-		ClientRequests: p.clientReqs.Load(),
-		LocalHits:      p.localHits.Load(),
-		RemoteHits:     p.remoteHits.Load(),
-		Misses:         p.misses.Load(),
-		OriginFetches:  p.originFetches.Load(),
-		PeerFetches:    p.peerFetches.Load(),
+		ClientRequests: p.metrics.clientReqs.Value(),
+		LocalHits:      p.metrics.localHits.Value(),
+		RemoteHits:     p.metrics.remoteHits.Value(),
+		Misses:         p.metrics.misses.Value(),
+		FalseHits:      p.metrics.falseHits.Value(),
+		OriginFetches:  p.metrics.originFetches.Value(),
+		PeerFetches:    p.metrics.peerFetches.Value(),
 	}
 	s.HTTPMessages = 2 * (s.ClientRequests + s.OriginFetches + s.PeerFetches)
 	switch p.cfg.Mode {
@@ -379,36 +507,55 @@ func (p *Proxy) serveCacheOnly(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Proxy) serveProxy(w http.ResponseWriter, r *http.Request, target string) {
-	p.clientReqs.Add(1)
+	p.metrics.clientReqs.Inc()
+	p.metrics.inflight.Inc()
+	start := time.Now()
+	outcome := p.serveProxyClassified(w, r, target)
+	if outcome != "" {
+		p.metrics.latency[outcome].ObserveDuration(time.Since(start))
+	}
+	p.metrics.inflight.Dec()
+}
+
+// serveProxyClassified serves the request and returns its outcome class
+// for the latency histogram ("" for malformed or failed requests, which
+// measure client errors rather than cache behavior).
+func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, target string) string {
 	if _, err := url.Parse(target); err != nil {
 		http.Error(w, "bad target url", http.StatusBadRequest)
-		return
+		return ""
 	}
 
 	if body, ok := p.cachedBody(target); ok {
-		p.localHits.Add(1)
+		p.metrics.localHits.Inc()
 		writeDoc(w, body)
-		return
+		return outcomeLocalHit
 	}
 
 	// Local miss: try siblings per the cooperation mode.
-	if body, ok := p.tryRemote(r.Context(), target); ok {
-		p.remoteHits.Add(1)
+	body, ok, falseHit := p.tryRemote(r.Context(), target)
+	if ok {
+		p.metrics.remoteHits.Inc()
 		if !p.cfg.SingleCopy {
 			p.storeBody(target, 0, body) // simple sharing: cache the remote copy
 		}
 		writeDoc(w, body)
-		return
+		return outcomeRemoteHit
 	}
 
 	body, version, err := p.fetchOrigin(r.Context(), target)
 	if err != nil {
 		http.Error(w, "origin fetch failed: "+err.Error(), http.StatusBadGateway)
-		return
+		return ""
 	}
-	p.misses.Add(1)
+	p.metrics.misses.Inc()
 	p.storeBody(target, version, body)
 	writeDoc(w, body)
+	if falseHit {
+		p.metrics.falseHits.Inc()
+		return outcomeFalseHit
+	}
+	return outcomeMiss
 }
 
 func writeDoc(w http.ResponseWriter, body []byte) {
@@ -418,31 +565,41 @@ func writeDoc(w http.ResponseWriter, body []byte) {
 }
 
 // tryRemote resolves a local miss against the siblings. It returns the
-// document when some sibling both claimed and delivered it.
-func (p *Proxy) tryRemote(ctx context.Context, target string) ([]byte, bool) {
+// document when some sibling both claimed and delivered it; falseHit
+// reports a failed indication — a claimed HIT that was not delivered, or
+// summary candidates that all replied MISS (the paper's false hits).
+func (p *Proxy) tryRemote(ctx context.Context, target string) (body []byte, ok, falseHit bool) {
 	switch p.cfg.Mode {
 	case ModeICP:
 		p.peerMu.RLock()
 		peers := append([]*net.UDPAddr(nil), p.icpPeers...)
 		p.peerMu.RUnlock()
 		if len(peers) == 0 {
-			return nil, false
+			return nil, false, false
 		}
 		qctx, cancel := context.WithTimeout(ctx, p.cfg.QueryTimeout)
 		defer cancel()
 		hit, from, err := p.icpConn.QueryAll(qctx, peers, target)
 		if err != nil || !hit {
-			return nil, false
+			// Classic ICP asked everyone; an all-miss round is an
+			// ordinary miss, not a false indication.
+			return nil, false, false
 		}
-		return p.fetchPeer(ctx, from, target)
+		body, ok = p.fetchPeer(ctx, from, target)
+		return body, ok, !ok
 	case ModeSCICP:
-		from, _, err := p.node.Lookup(ctx, target)
-		if err != nil || from == nil {
-			return nil, false
+		from, candidates, err := p.node.Lookup(ctx, target)
+		if err != nil {
+			return nil, false, false
 		}
-		return p.fetchPeer(ctx, from, target)
+		if from == nil {
+			// Summaries nominated candidates but every reply was MISS.
+			return nil, false, candidates > 0
+		}
+		body, ok = p.fetchPeer(ctx, from, target)
+		return body, ok, !ok
 	}
-	return nil, false
+	return nil, false, false
 }
 
 func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string) ([]byte, bool) {
@@ -452,7 +609,7 @@ func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string)
 	if base == "" {
 		return nil, false
 	}
-	p.peerFetches.Add(1)
+	p.metrics.peerFetches.Inc()
 	u := base + CacheOnlyPath + "?url=" + url.QueryEscape(target)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -475,7 +632,7 @@ func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string)
 }
 
 func (p *Proxy) fetchOrigin(ctx context.Context, target string) (body []byte, version int64, err error) {
-	p.originFetches.Add(1)
+	p.metrics.originFetches.Inc()
 	fetchURL := target
 	if p.cfg.ParentURL != "" {
 		fetchURL = p.cfg.ParentURL + ProxyPath + "?url=" + url.QueryEscape(target)

@@ -161,7 +161,7 @@ type TCPClient struct {
 	mu   sync.Mutex
 	conn net.Conn
 
-	sent, sentB, reconnects atomic.Uint64
+	sent, sentB, reconnects, sendErrs atomic.Uint64
 }
 
 // NewTCPClient prepares a client for the peer's update address; the
@@ -178,7 +178,12 @@ func (c *TCPClient) Addr() string { return c.addr }
 
 // Stats reports send counters; Dropped counts reconnects.
 func (c *TCPClient) Stats() Stats {
-	return Stats{Sent: c.sent.Load(), SentBytes: c.sentB.Load(), Dropped: c.reconnects.Load()}
+	return Stats{
+		Sent:       c.sent.Load(),
+		SentBytes:  c.sentB.Load(),
+		Dropped:    c.reconnects.Load(),
+		SendErrors: c.sendErrs.Load(),
+	}
 }
 
 // Send transmits one framed message, dialing or redialing as needed. One
@@ -190,6 +195,7 @@ func (c *TCPClient) Send(m Message) error {
 		if c.conn == nil {
 			conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 			if err != nil {
+				c.sendErrs.Add(1)
 				return fmt.Errorf("icp: dial %s: %w", c.addr, err)
 			}
 			c.conn = conn
@@ -206,6 +212,7 @@ func (c *TCPClient) Send(m Message) error {
 		c.conn.Close()
 		c.conn = nil
 		if attempt == 1 {
+			c.sendErrs.Add(1)
 			return fmt.Errorf("icp: send to %s: %w", c.addr, err)
 		}
 	}

@@ -13,11 +13,12 @@ import (
 // Stats counts datagrams through a Conn; the networked benchmark's analog
 // of the paper's netstat UDP counters.
 type Stats struct {
-	Sent      uint64
-	Received  uint64
-	SentBytes uint64
-	RecvBytes uint64
-	Dropped   uint64 // undecodable or unroutable datagrams
+	Sent       uint64
+	Received   uint64
+	SentBytes  uint64
+	RecvBytes  uint64
+	Dropped    uint64 // undecodable or unroutable datagrams
+	SendErrors uint64 // transmissions the network layer rejected
 }
 
 // Handler consumes unsolicited inbound messages (queries from peers,
@@ -35,8 +36,8 @@ type Conn struct {
 	pc      *net.UDPConn
 	handler Handler
 
-	sent, recv, sentB, recvB, dropped atomic.Uint64
-	nextReq                           atomic.Uint32
+	sent, recv, sentB, recvB, dropped, sendErrs atomic.Uint64
+	nextReq                                     atomic.Uint32
 
 	mu      sync.Mutex
 	pending map[uint32]chan Message
@@ -89,11 +90,12 @@ func (c *Conn) Addr() *net.UDPAddr { return c.pc.LocalAddr().(*net.UDPAddr) }
 // Stats snapshots the traffic counters.
 func (c *Conn) Stats() Stats {
 	return Stats{
-		Sent:      c.sent.Load(),
-		Received:  c.recv.Load(),
-		SentBytes: c.sentB.Load(),
-		RecvBytes: c.recvB.Load(),
-		Dropped:   c.dropped.Load(),
+		Sent:       c.sent.Load(),
+		Received:   c.recv.Load(),
+		SentBytes:  c.sentB.Load(),
+		RecvBytes:  c.recvB.Load(),
+		Dropped:    c.dropped.Load(),
+		SendErrors: c.sendErrs.Load(),
 	}
 }
 
@@ -132,6 +134,10 @@ func (c *Conn) Send(to *net.UDPAddr, m Message) error {
 		if closed {
 			return ErrClosed
 		}
+		// A rejected transmission is the only trace a flaky peer link
+		// leaves on the sender; count it rather than losing it with the
+		// discarded error.
+		c.sendErrs.Add(1)
 		return fmt.Errorf("icp: send to %v: %w", to, err)
 	}
 	c.sent.Add(1)

@@ -65,6 +65,10 @@ type Cache struct {
 	onEvict  func(Entry, Event)
 
 	hits, misses uint64
+	// Lifetime departures by cause (Counters): LRU displacement, explicit
+	// removal, and version replacement — the staleness invalidations the
+	// paper counts as remote stale hits.
+	evCapacity, evRemoved, evUpdated uint64
 }
 
 // New creates a cache holding at most capacity bytes.
@@ -210,6 +214,7 @@ func (c *Cache) Put(e Entry) (stored bool) {
 		el.Value = e
 		c.ll.MoveToFront(el)
 		if old.Version != e.Version {
+			c.evUpdated++
 			evs = append(evs, event{entry: old, evict: true, why: EvictUpdated})
 		}
 		evs = c.evictOverflowLocked(evs)
@@ -256,6 +261,12 @@ func (c *Cache) removeElementLocked(el *list.Element, why Event, evs []event) []
 	c.ll.Remove(el)
 	delete(c.items, e.Key)
 	c.bytes -= e.Size
+	switch why {
+	case EvictCapacity:
+		c.evCapacity++
+	case EvictRemoved:
+		c.evRemoved++
+	}
 	return append(evs, event{entry: e, evict: true, why: why})
 }
 
@@ -286,6 +297,29 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Counters is a snapshot of the cache's lifetime activity.
+type Counters struct {
+	Hits, Misses uint64
+	// EvictedCapacity counts LRU displacements, Removed explicit
+	// removals (consistency purges), Updated version replacements —
+	// the staleness invalidations of the paper's modified-document
+	// accounting.
+	EvictedCapacity, Removed, Updated uint64
+}
+
+// Counters snapshots all lifetime counters at once.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{
+		Hits:            c.hits,
+		Misses:          c.misses,
+		EvictedCapacity: c.evCapacity,
+		Removed:         c.evRemoved,
+		Updated:         c.evUpdated,
+	}
 }
 
 // Clear empties the cache without firing eviction callbacks.

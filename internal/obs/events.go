@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Structured event logging: the mesh's state transitions (peer up/down,
+// summary publications, filter rebuilds) are emitted as slog events so
+// operators can correlate them with the metric timelines. Components take
+// a *slog.Logger in their config; these helpers supply the defaults.
+
+// NopLogger returns a logger that discards everything — the default for
+// library components whose caller did not ask for event logging, keeping
+// tests and benchmarks quiet without nil checks at every call site.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// OrNop returns l, or a discarding logger when l is nil.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler builds the admin endpoint multiplexer:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar-style JSON of the same metrics
+//	/debug/pprof/ the standard net/http/pprof profile handlers
+//	/healthz      200 when every known peer is up, 503 otherwise
+//
+// health may be nil (no peer state: always 200 ok). The handler is meant
+// for a loopback or otherwise access-controlled admin listener — pprof
+// exposes stacks and heap contents.
+func NewHandler(r *Registry, health *Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		type resp struct {
+			Status    string   `json:"status"`
+			PeersUp   []string `json:"peers_up,omitempty"`
+			PeersDown []string `json:"peers_down,omitempty"`
+		}
+		out := resp{Status: "ok"}
+		code := http.StatusOK
+		if health != nil {
+			out.PeersUp, out.PeersDown = health.Snapshot()
+			if len(out.PeersDown) > 0 {
+				out.Status = "degraded"
+				code = http.StatusServiceUnavailable
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(out)
+	})
+	return mux
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one instrument of every kind, using
+// binary-exact observation values so the shortest-float rendering is stable.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("demo_requests_total", "Total requests.", L("proxy", "a")).Add(3)
+	reg.Gauge("demo_inflight", "In-flight requests.", nil).Set(2)
+	h := reg.Histogram("demo_seconds", "Request latency.", nil, []float64{0.25, 1, 4})
+	for _, v := range []float64{0.0625, 0.5, 5} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+const goldenExposition = `# HELP demo_inflight In-flight requests.
+# TYPE demo_inflight gauge
+demo_inflight 2
+# HELP demo_requests_total Total requests.
+# TYPE demo_requests_total counter
+demo_requests_total{proxy="a"} 3
+# HELP demo_seconds Request latency.
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.25"} 1
+demo_seconds_bucket{le="1"} 2
+demo_seconds_bucket{le="4"} 2
+demo_seconds_bucket{le="+Inf"} 3
+demo_seconds_sum 5.5625
+demo_seconds_count 3
+`
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var buf strings.Builder
+	goldenRegistry().WritePrometheus(&buf)
+	if got := buf.String(); got != goldenExposition {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(goldenRegistry(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != goldenExposition {
+		t.Errorf("/metrics body mismatch\n--- got ---\n%s", body)
+	}
+}
+
+func TestHandlerDebugVars(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(goldenRegistry(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if got := vars[`demo_requests_total{proxy="a"}`]; got != float64(3) {
+		t.Errorf("demo_requests_total = %v, want 3", got)
+	}
+	hist, ok := vars["demo_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("demo_seconds missing: %v", vars)
+	}
+	if hist["count"] != float64(3) || hist["sum"] != 5.5625 {
+		t.Errorf("demo_seconds summary = %v", hist)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	health := NewHealth()
+	srv := httptest.NewServer(NewHandler(NewRegistry(), health))
+	defer srv.Close()
+
+	get := func() (int, map[string]any) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("/healthz not JSON: %v", err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if code, out := get(); code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("no peers: status %d %v, want 200 ok", code, out)
+	}
+	health.SetPeer("peer1", true)
+	health.SetPeer("peer2", false)
+	code, out := get()
+	if code != http.StatusServiceUnavailable || out["status"] != "degraded" {
+		t.Fatalf("with a down peer: status %d %v, want 503 degraded", code, out)
+	}
+	health.SetPeer("peer2", true)
+	if code, out := get(); code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("peer recovered: status %d %v, want 200 ok", code, out)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+}

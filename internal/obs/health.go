@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Health tracks peer up/down state for the /healthz endpoint and the
+// peers-up gauge. The node layer feeds it from peer registration and from
+// HealthConfig.OnChange transitions; a peer is presumed up when registered
+// and flips down only when the health prober says so.
+type Health struct {
+	mu    sync.RWMutex
+	peers map[string]bool // id -> up
+}
+
+// NewHealth creates an empty tracker.
+func NewHealth() *Health {
+	return &Health{peers: make(map[string]bool)}
+}
+
+// SetPeer records the peer's current state, adding it if unknown.
+func (h *Health) SetPeer(id string, up bool) {
+	h.mu.Lock()
+	h.peers[id] = up
+	h.mu.Unlock()
+}
+
+// RemovePeer forgets the peer entirely (it no longer affects health).
+func (h *Health) RemovePeer(id string) {
+	h.mu.Lock()
+	delete(h.peers, id)
+	h.mu.Unlock()
+}
+
+// UpCount returns how many known peers are up.
+func (h *Health) UpCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n := 0
+	for _, up := range h.peers {
+		if up {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the up and down peer id lists, sorted.
+func (h *Health) Snapshot() (up, down []string) {
+	h.mu.RLock()
+	for id, ok := range h.peers {
+		if ok {
+			up = append(up, id)
+		} else {
+			down = append(down, id)
+		}
+	}
+	h.mu.RUnlock()
+	sort.Strings(up)
+	sort.Strings(down)
+	return up, down
+}
+
+// Healthy reports whether no known peer is down. A node with no peers is
+// healthy: it serves from its own cache.
+func (h *Health) Healthy() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, up := range h.peers {
+		if !up {
+			return false
+		}
+	}
+	return true
+}

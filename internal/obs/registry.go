@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair on a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// Labels is an ordered label set. Order does not matter for identity;
+// series are keyed by the sorted set.
+type Labels []Label
+
+// L builds a label set from alternating name, value strings:
+// L("proxy", addr, "outcome", "miss"). It panics on an odd count —
+// a compile-time-adjacent programmer error.
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L requires an even number of arguments")
+	}
+	out := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Name: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// With returns a copy of ls extended with more pairs.
+func (ls Labels) With(kv ...string) Labels {
+	return append(append(Labels(nil), ls...), L(kv...)...)
+}
+
+// key canonicalizes the set for series identity and exposition.
+func (ls Labels) key() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	s := append(Labels(nil), ls...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	var b strings.Builder
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// kind is the metric family type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance within a family. Exactly one of the
+// value fields is set, matching the family kind.
+type series struct {
+	labels  string // canonical label key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	// read-at-scrape functions for re-exporting externally owned counters
+	// (e.g. icp.Conn's datagram accounting) without double bookkeeping.
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*series
+	order  []string // insertion-ordered keys are re-sorted at exposition
+}
+
+// Registry is a concurrency-safe collection of metric families. Multiple
+// components (proxies, nodes) may share one registry, distinguishing
+// themselves by labels; registering the same name+labels twice returns the
+// existing instrument, so restarts and shared wiring are idempotent.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, k kind) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, k))
+	}
+	return f
+}
+
+func (f *family) get(key string) *series {
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	key := labels.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindCounter).get(key)
+	if s.counter == nil && s.counterFn == nil {
+		s.counter = &Counter{}
+	}
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: metric %q{%s} already registered as a counter func", name, key))
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for counters owned elsewhere (icp.Stats fields,
+// LRU eviction counts): one source of truth, no double counting.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	key := labels.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindCounter).get(key)
+	s.counterFn = fn
+	s.counter = nil
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	key := labels.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindGauge).get(key)
+	if s.gauge == nil && s.gaugeFn == nil {
+		s.gauge = &Gauge{}
+	}
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q{%s} already registered as a gauge func", name, key))
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge series computed from fn at scrape time
+// (cache entries, peer-summary memory, peers up).
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	key := labels.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindGauge).get(key)
+	s.gaugeFn = fn
+	s.gauge = nil
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket bounds on first use (nil bounds: DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	key := labels.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindHistogram).get(key)
+	if s.hist == nil {
+		s.hist = newHistogram(bounds)
+	}
+	return s.hist
+}
+
+// snapshot returns families and series in deterministic (sorted) order for
+// exposition, under the read lock. Series values are read outside the lock
+// by the writers; the instruments themselves are atomic.
+func (r *Registry) snapshot() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	out := make([]*family, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.families[n])
+	}
+	return out
+}
+
+func (f *family) sortedSeries() []*series {
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeSeries(w io.Writer, name, suffix, labels, extraLabel string, value string) {
+	io.WriteString(w, name)
+	io.WriteString(w, suffix)
+	if labels != "" || extraLabel != "" {
+		io.WriteString(w, "{")
+		io.WriteString(w, labels)
+		if labels != "" && extraLabel != "" {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, extraLabel)
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, value)
+	io.WriteString(w, "\n")
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, one line per series, and the
+// cumulative _bucket/_sum/_count expansion for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.snapshot() {
+		r.mu.RLock()
+		ss := f.sortedSeries()
+		r.mu.RUnlock()
+		if len(ss) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ss {
+			switch f.kind {
+			case kindCounter:
+				v := uint64(0)
+				if s.counterFn != nil {
+					v = s.counterFn()
+				} else if s.counter != nil {
+					v = s.counter.Value()
+				}
+				writeSeries(w, f.name, "", s.labels, "", strconv.FormatUint(v, 10))
+			case kindGauge:
+				var v float64
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				} else if s.gauge != nil {
+					v = float64(s.gauge.Value())
+				}
+				writeSeries(w, f.name, "", s.labels, "", formatFloat(v))
+			case kindHistogram:
+				h := s.hist
+				if h == nil {
+					continue
+				}
+				counts := h.BucketCounts()
+				var cum uint64
+				for i, b := range h.bounds {
+					cum += counts[i]
+					writeSeries(w, f.name, "_bucket", s.labels,
+						`le="`+formatFloat(b)+`"`, strconv.FormatUint(cum, 10))
+				}
+				cum += counts[len(counts)-1]
+				writeSeries(w, f.name, "_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(cum, 10))
+				writeSeries(w, f.name, "_sum", s.labels, "", formatFloat(h.Sum()))
+				writeSeries(w, f.name, "_count", s.labels, "", strconv.FormatUint(h.Count(), 10))
+			}
+		}
+	}
+}
+
+// histJSON is the /debug/vars rendering of one histogram series.
+type histJSON struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// WriteJSON renders the registry as a flat expvar-style JSON object:
+// "name{labels}" -> number for counters and gauges, -> summary object for
+// histograms. NaNs (empty histograms) render as zero, keeping the output
+// valid JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, f := range r.snapshot() {
+		r.mu.RLock()
+		ss := f.sortedSeries()
+		r.mu.RUnlock()
+		for _, s := range ss {
+			key := f.name
+			if s.labels != "" {
+				key += "{" + s.labels + "}"
+			}
+			switch f.kind {
+			case kindCounter:
+				if s.counterFn != nil {
+					out[key] = s.counterFn()
+				} else if s.counter != nil {
+					out[key] = s.counter.Value()
+				}
+			case kindGauge:
+				if s.gaugeFn != nil {
+					out[key] = s.gaugeFn()
+				} else if s.gauge != nil {
+					out[key] = s.gauge.Value()
+				}
+			case kindHistogram:
+				if h := s.hist; h != nil {
+					hj := histJSON{Count: h.Count(), Sum: h.Sum()}
+					if hj.Count > 0 {
+						hj.Mean = h.Mean()
+						hj.P50 = h.Quantile(0.50)
+						hj.P90 = h.Quantile(0.90)
+						hj.P99 = h.Quantile(0.99)
+					}
+					out[key] = hj
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
