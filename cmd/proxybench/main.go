@@ -9,7 +9,9 @@
 //
 // With -admin set, an observability endpoint serves live /metrics,
 // /debug/vars and /debug/pprof/ for every proxy in the running mesh —
-// profile the benchmark while it runs.
+// profile the benchmark while it runs. Add -trace-sample to also serve
+// /debug/traces: correlated request traces (with summary-decision audits)
+// from the whole mesh, one store per run.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"summarycache/internal/httpproxy"
 	"summarycache/internal/obs"
 	"summarycache/internal/tracegen"
+	"summarycache/internal/tracing"
 )
 
 var (
@@ -36,19 +39,36 @@ var (
 	replayN    = flag.Int("replay", 12000, "trace requests to replay for tables 4/5 (paper: 24000)")
 	traceScale = flag.Float64("trace-scale", 0.25, "UPisa trace scale for replays")
 	adminAddr  = flag.String("admin", "", "admin listen address serving /metrics, /debug/vars and /debug/pprof/ for the live mesh (empty: disabled)")
+	traceRate  = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for request traces; anomalous traces are always kept once tracing is on")
+	traceBuf   = flag.Int("trace-buffer", 0, "trace ring-buffer capacity (0 with -trace-sample=0: tracing disabled)")
 )
 
-// current is the registry of the mesh currently running; each benchmark
-// run starts fresh (sequential runs may reuse ephemeral ports, and stale
-// series from a finished mesh would otherwise be inherited). The admin
-// endpoint always serves the live run.
-var current atomic.Pointer[obs.Registry]
+// current is the registry (and tracer) of the mesh currently running; each
+// benchmark run starts fresh (sequential runs may reuse ephemeral ports,
+// and stale series from a finished mesh would otherwise be inherited). The
+// admin endpoint always serves the live run.
+var (
+	current       atomic.Pointer[obs.Registry]
+	currentTracer atomic.Pointer[tracing.Tracer]
+)
+
+func tracingOn() bool { return *traceRate > 0 || *traceBuf > 0 }
 
 func newRunRegistry() *obs.Registry {
 	reg := obs.NewRegistry()
 	current.Store(reg)
+	if tracingOn() {
+		currentTracer.Store(tracing.New(tracing.Config{
+			HeadRate: *traceRate,
+			Buffer:   *traceBuf,
+			Registry: reg,
+		}))
+	}
 	return reg
 }
+
+// runTracer returns the live run's shared tracer (nil: tracing disabled).
+func runTracer() *tracing.Tracer { return currentTracer.Load() }
 
 var modes = []httpproxy.Mode{httpproxy.ModeNone, httpproxy.ModeICP, httpproxy.ModeSCICP}
 
@@ -61,18 +81,28 @@ func main() {
 }
 
 func run() error {
-	current.Store(obs.NewRegistry())
+	newRunRegistry()
 	if *adminAddr != "" {
 		ln, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			return fmt.Errorf("admin listen %q: %w", *adminAddr, err)
 		}
 		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			obs.NewHandler(current.Load(), nil).ServeHTTP(w, r)
+			// Re-resolved per request: each run swaps in a fresh registry
+			// and tracer, and the admin plane must follow the live mesh.
+			var mounts []obs.Mount
+			if tr := runTracer(); tr != nil {
+				mounts = append(mounts, obs.Mount{Pattern: "/debug/traces", Handler: tr.Handler()})
+			}
+			obs.NewHandler(current.Load(), nil, mounts...).ServeHTTP(w, r)
 		})}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (/metrics /debug/vars /debug/pprof/)\n", ln.Addr())
+		endpoints := "/metrics /debug/vars /debug/pprof/"
+		if tracingOn() {
+			endpoints += " /debug/traces"
+		}
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (%s)\n", ln.Addr(), endpoints)
 	}
 	want := func(n string) bool { return *experiment == "all" || *experiment == n }
 	if want("table2") {
@@ -124,6 +154,7 @@ func table2(hitRatio float64) error {
 			OriginLatency:     *latency,
 			Seed:              42, // "we use the same seeds ... to ensure comparable results"
 			Metrics:           newRunRegistry(),
+			Tracer:            runTracer(),
 		})
 		if err != nil {
 			return err
@@ -154,6 +185,7 @@ func replay(a bench.Assignment, title string) error {
 			Trace:         reqs,
 			OriginLatency: *latency,
 			Metrics:       newRunRegistry(),
+			Tracer:        runTracer(),
 		})
 		if err != nil {
 			return err

@@ -14,7 +14,9 @@
 //
 // The -admin listener serves the observability plane: Prometheus metrics
 // at /metrics, expvar-style JSON at /debug/vars, pprof profiles at
-// /debug/pprof/, and peer-health at /healthz.
+// /debug/pprof/, peer-health (with build info) at /healthz, and — when
+// -trace-sample or -trace-buffer enables tracing — request traces with
+// summary-decision audits at /debug/traces.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"summarycache/internal/core"
 	"summarycache/internal/httpproxy"
 	"summarycache/internal/obs"
+	"summarycache/internal/tracing"
 )
 
 type peerList []string
@@ -50,7 +53,13 @@ var (
 	statsSec  = flag.Duration("stats-interval", 30*time.Second, "stats logging interval (0: off)")
 	healthSec = flag.Duration("health-interval", 0, "peer health-probe interval (scicp; 0: off)")
 	parentURL = flag.String("parent", "", "parent proxy HTTP base URL (hierarchical mode)")
-	peers     peerList
+	logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat = flag.String("log-format", "text", "log format: text, json")
+	traceRate = flag.Float64("trace-sample", 0,
+		"head-sampling rate in [0,1] for request traces; anomalous traces (false hits, timeouts) are always kept once tracing is on")
+	traceBuf = flag.Int("trace-buffer", 0,
+		"trace ring-buffer capacity (0 with -trace-sample=0: tracing disabled entirely)")
+	peers peerList
 )
 
 func main() {
@@ -74,13 +83,54 @@ func parseMode(s string) (httpproxy.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
+// newLogger builds the slog handler the -log-level and -log-format flags
+// describe.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
 func run() error {
 	m, err := parseMode(*mode)
 	if err != nil {
 		return err
 	}
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	reg := obs.NewRegistry()
+	var tracer *tracing.Tracer
+	if *traceRate > 0 || *traceBuf > 0 {
+		if *traceRate < 0 || *traceRate > 1 {
+			return fmt.Errorf("-trace-sample %v outside [0,1]", *traceRate)
+		}
+		tracer = tracing.New(tracing.Config{
+			HeadRate: *traceRate,
+			Buffer:   *traceBuf,
+			Registry: reg,
+			Logger:   log,
+		})
+	}
 	cacheBytes := *cacheMB << 20
 	p, err := httpproxy.Start(httpproxy.Config{
 		ListenAddr: *httpAddr,
@@ -95,6 +145,7 @@ func run() error {
 		ParentURL: *parentURL,
 		Metrics:   reg,
 		Logger:    log,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
@@ -111,11 +162,17 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("admin listen %q: %w", *adminAddr, err)
 		}
-		admin := &http.Server{Handler: obs.NewHandler(reg, p.Health())}
+		var mounts []obs.Mount
+		endpoints := "/metrics /debug/vars /debug/pprof/ /healthz"
+		if tracer != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/debug/traces", Handler: tracer.Handler()})
+			endpoints += " /debug/traces"
+		}
+		admin := &http.Server{Handler: obs.NewHandler(reg, p.Health(), mounts...)}
 		go admin.Serve(ln)
 		defer admin.Close()
 		log.Info("admin endpoint up", "addr", ln.Addr().String(),
-			"endpoints", "/metrics /debug/vars /debug/pprof/ /healthz")
+			"endpoints", endpoints)
 	}
 
 	for _, spec := range peers {

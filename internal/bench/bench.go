@@ -23,6 +23,7 @@ import (
 	"summarycache/internal/origin"
 	"summarycache/internal/stats"
 	"summarycache/internal/trace"
+	"summarycache/internal/tracing"
 )
 
 // SyntheticConfig parameterizes a Table II-style run. The paper's full
@@ -56,6 +57,10 @@ type SyntheticConfig struct {
 	// admin endpoint (proxybench -admin) exposes the whole run; each
 	// proxy's series are distinguished by its proxy="<addr>" label.
 	Metrics *obs.Registry
+	// Tracer, when set, is shared by every proxy in the mesh so
+	// /debug/traces on the admin endpoint shows correlated request and
+	// answer traces from the whole run. Nil: tracing disabled.
+	Tracer *tracing.Tracer
 }
 
 func (c *SyntheticConfig) applyDefaults() {
@@ -124,7 +129,7 @@ type testbed struct {
 	client  *http.Client
 }
 
-func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int, reg *obs.Registry) (*testbed, error) {
+func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int, reg *obs.Registry, tracer *tracing.Tracer) (*testbed, error) {
 	org, err := origin.Start(origin.Config{Latency: originLatency})
 	if err != nil {
 		return nil, err
@@ -144,6 +149,7 @@ func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatenc
 			MinUpdateFlips: minFlips,
 			QueryTimeout:   2 * time.Second,
 			Metrics:        reg,
+			Tracer:         tracer,
 		})
 		if err != nil {
 			tb.Close()
@@ -230,7 +236,7 @@ func (tb *testbed) collect(r *Result) {
 // RunSynthetic executes one Table II-style benchmark run.
 func RunSynthetic(cfg SyntheticConfig) (Result, error) {
 	cfg.applyDefaults()
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics, cfg.Tracer)
 	if err != nil {
 		return Result{}, err
 	}
@@ -343,6 +349,9 @@ type ReplayConfig struct {
 	// Metrics, when set, is shared by every proxy in the mesh (see
 	// SyntheticConfig.Metrics).
 	Metrics *obs.Registry
+	// Tracer, when set, is shared by every proxy (see
+	// SyntheticConfig.Tracer).
+	Tracer *tracing.Tracer
 }
 
 // RunReplay executes one trace-replay benchmark run.
@@ -362,7 +371,7 @@ func RunReplay(cfg ReplayConfig) (Result, error) {
 	if len(cfg.Trace) == 0 {
 		return Result{}, fmt.Errorf("bench: empty trace")
 	}
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics, cfg.Tracer)
 	if err != nil {
 		return Result{}, err
 	}

@@ -124,6 +124,15 @@ func (f *Filter) Test(key string) bool {
 	return true
 }
 
+// Indexes returns the k probe positions for key under this filter's
+// geometry (its hash family reduced modulo its size). The audited lookup
+// path records these so a false hit can name the exact bits that lied.
+func (f *Filter) Indexes(key string) []uint64 {
+	out := make([]uint64, f.family.Spec().FunctionNum)
+	n, _ := f.family.IndexesInto(out, key, f.m)
+	return out[:n]
+}
+
 // TestIndexes probes the filter with precomputed indices (from the same
 // hashing.Family and modulus). Callers probing many peer filters for one
 // URL hash once and reuse the indices across filters.

@@ -10,6 +10,7 @@ import (
 
 	"summarycache/internal/icp"
 	"summarycache/internal/obs"
+	"summarycache/internal/tracing"
 )
 
 // DefaultQueryTimeout bounds how long a node waits for ICP replies before
@@ -74,6 +75,13 @@ type NodeConfig struct {
 	// up/down transitions, summary publications, peer filter rebuilds).
 	// Nil: events are discarded.
 	Logger *slog.Logger
+	// Tracer, when set, records the node's side of distributed request
+	// traces: decision audits on traced Lookups (which summaries matched,
+	// at which bit indices and generation, and what each peer actually
+	// answered) and answering-side spans for incoming peer queries,
+	// correlated with the querier's trace via the ICP RequestNumber.
+	// Nil: tracing disabled; the lookup hot path is unchanged.
+	Tracer *tracing.Tracer
 }
 
 // NodeStats counts a node's protocol activity.
@@ -147,6 +155,7 @@ type Node struct {
 	reg     *obs.Registry
 	health  *obs.Health
 	log     *slog.Logger
+	tracer  *tracing.Tracer // nil: tracing disabled
 
 	stopTimer chan struct{}       // closes on Close when PublishInterval is set
 	mcast     *icp.MulticastGroup // nil unless MulticastGroup configured
@@ -186,6 +195,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		tcpPeers:  make(map[string]*icp.TCPClient),
 		health:    obs.NewHealth(),
 		log:       obs.OrNop(cfg.Logger),
+		tracer:    cfg.Tracer,
 	}
 	conn, err := icp.Listen(cfg.ListenAddr, n.handle)
 	if err != nil {
@@ -580,9 +590,30 @@ func (n *Node) sendFullState(addr *net.UDPAddr) error {
 // confirmed a hit (nil when the document must be fetched from the origin).
 // candidates reports how many peers were queried (0 means the summaries
 // ruled everyone out and no message was sent).
+//
+// When ctx carries a tracing.Trace (tracing.NewContext), Lookup records
+// the full decision audit on it: one summary-probe span per consulted
+// peer — probed bit indices, replica generation and age, predicted
+// verdict, and the peer's actual ICP answer — plus the query round-trip
+// span, and re-keys the trace to the exchange's shared ID so the
+// answering proxies' traces join it.
 func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candidates int, err error) {
-	ids := n.peers.Candidates(url)
+	tr := tracing.FromContext(ctx)
+	var probes []SummaryProbe
+	var ids []string
+	probeStart := time.Now()
+	if tr != nil {
+		probes = n.peers.ProbeAll(url)
+		for _, pr := range probes {
+			if pr.Match {
+				ids = append(ids, pr.Peer)
+			}
+		}
+	} else {
+		ids = n.peers.Candidates(url)
+	}
 	if len(ids) == 0 {
+		n.traceLookup(tr, false, probes, probeStart, nil, 0, 0, nil)
 		return nil, 0, nil
 	}
 	n.mu.RLock()
@@ -605,14 +636,24 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 		}
 	}
 	if len(addrs) == 0 {
+		n.traceLookup(tr, false, probes, probeStart, nil, 0, 0, nil)
 		return nil, 0, nil
 	}
 	n.metrics.queriesSent.Add(uint64(len(addrs)))
 	qctx, cancel := context.WithTimeout(ctx, n.cfg.QueryTimeout)
 	defer cancel()
+	var replies map[string]icp.Opcode
+	var onReply func(*net.UDPAddr, icp.Opcode)
+	if tr != nil {
+		replies = make(map[string]icp.Opcode, len(addrs))
+		// Invoked on this goroutine by QueryAllFunc; no lock needed.
+		onReply = func(from *net.UDPAddr, op icp.Opcode) { replies[from.String()] = op }
+	}
 	start := time.Now()
-	ok, from, err := n.conn.QueryAll(qctx, addrs, url)
-	n.metrics.queryRTT.ObserveDuration(time.Since(start))
+	ok, from, reqNum, err := n.conn.QueryAllFunc(qctx, addrs, url, onReply)
+	rtt := time.Since(start)
+	n.metrics.queryRTT.ObserveDuration(rtt)
+	n.traceLookup(tr, true, probes, probeStart, replies, reqNum, rtt, from)
 	if err != nil {
 		return nil, len(addrs), err
 	}
@@ -621,19 +662,91 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 		return from, len(addrs), nil
 	}
 	n.metrics.falseHits.Inc()
+	if tr != nil && len(replies) < len(addrs) {
+		// Some candidates never answered inside the timeout — the
+		// peer-down/timeout class of anomaly, kept by tail sampling.
+		tr.MarkAnomalous("query_timeout")
+	}
 	return nil, len(addrs), nil
+}
+
+// traceLookup records the decision audit of one Lookup on tr: a
+// summary-probe span per consulted peer and (when a query was sent) the
+// ICP round-trip span. replies maps peer address to its actual answer;
+// hit is the winning peer, nil when nobody confirmed.
+func (n *Node) traceLookup(tr *tracing.Trace, queried bool, probes []SummaryProbe, probeStart time.Time,
+	replies map[string]icp.Opcode, reqNum uint32, rtt time.Duration, hit *net.UDPAddr) {
+	if tr == nil {
+		return
+	}
+	if queried {
+		tr.SetICPExchange(n.Addr().String(), reqNum)
+	}
+	probeDur := time.Since(probeStart).Microseconds()
+	for _, pr := range probes {
+		s := tracing.Span{
+			Name:       tracing.SpanSummaryProbe,
+			Peer:       pr.Peer,
+			Start:      probeStart,
+			DurationUS: probeDur,
+			Predicted:  "miss",
+			Actual:     "not_queried",
+			Audit: &tracing.Audit{
+				BitIndexes: pr.BitIndexes,
+				Generation: pr.Generation,
+				AgeMS:      float64(pr.Age.Microseconds()) / 1e3,
+				FilterBits: pr.FilterBits,
+			},
+		}
+		if pr.Match {
+			s.Predicted = "hit"
+			if queried {
+				if op, answered := replies[pr.Peer]; answered {
+					s.Actual = "miss"
+					if op == icp.OpHit || op == icp.OpHitObj {
+						s.Actual = "hit"
+					}
+				} else {
+					s.Actual = "no_reply"
+				}
+			}
+		}
+		tr.AddSpan(s)
+	}
+	if queried {
+		actual := "all_miss"
+		if hit != nil {
+			actual = "hit:" + hit.String()
+		}
+		tr.AddSpan(tracing.Span{
+			Name:       tracing.SpanICPQuery,
+			Start:      probeStart,
+			DurationUS: rtt.Microseconds(),
+			ReqNum:     reqNum,
+			Actual:     actual,
+		})
+	}
 }
 
 // handle serves incoming unsolicited messages.
 func (n *Node) handle(from *net.UDPAddr, m icp.Message) {
 	switch m.Op {
 	case icp.OpQuery:
+		start := time.Now()
 		n.metrics.queriesRecv.Inc()
 		op := icp.OpMiss
 		if n.cfg.HasDocument(m.URL) {
 			op = icp.OpHit
 		}
 		_ = n.conn.Send(from, icp.NewReply(op, m.ReqNum, m.URL))
+		if n.tracer != nil {
+			// Under SC-ICP a query only arrives because the querier's
+			// replica of our summary predicted a hit; a MISS answer is
+			// therefore a false hit seen from the answering side —
+			// anomalous, tail-kept.
+			n.tracer.ICPAnswer(n.Addr().String(), from.String(), m.ReqNum, m.URL,
+				op == icp.OpHit, start, true)
+		}
 	case icp.OpDirUpdate:
 		full := m.Options&icp.OptionFullUpdate != 0
 		if err := n.peers.ApplyUpdate(from.String(), m.Update, full); err == nil {

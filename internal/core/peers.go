@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"summarycache/internal/bloom"
 	"summarycache/internal/hashing"
@@ -24,8 +25,12 @@ type PeerTable struct {
 type peerSummary struct {
 	filter *bloom.Filter
 	spec   hashing.Spec
-	// updates counts applied DIRUPDATE messages (diagnostics).
+	// updates counts applied DIRUPDATE messages; it doubles as the
+	// replica's generation in decision audits (a stale prediction names
+	// the generation it was made against).
 	updates uint64
+	// changed is when the last update was applied — the replica's age.
+	changed time.Time
 }
 
 // NewPeerTable creates an empty table.
@@ -103,6 +108,7 @@ func (pt *PeerTable) ApplyUpdate(peer string, u *icp.DirUpdate, full bool) error
 		return fmt.Errorf("core: update from %s: %w", peer, err)
 	}
 	ps.updates++
+	ps.changed = time.Now()
 	fn := pt.onRebuild
 	pt.mu.Unlock()
 	if rebuilt != "" && fn != nil {
@@ -126,6 +132,50 @@ func (pt *PeerTable) Candidates(url string) []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// SummaryProbe is the audited result of consulting one peer summary for
+// one URL: the full evidence behind the nominate/skip decision, recorded
+// in a trace's summary-probe span.
+type SummaryProbe struct {
+	// Peer is the replica's identifier (the node layer's UDP address).
+	Peer string
+	// Match is the summary's verdict: all probed bits set.
+	Match bool
+	// BitIndexes are the k bit positions probed, under the replica's
+	// geometry.
+	BitIndexes []uint64
+	// Generation is the number of updates applied to the replica when it
+	// was probed.
+	Generation uint64
+	// Age is how long ago the replica last changed.
+	Age time.Duration
+	// FilterBits is the replica's bit-array size.
+	FilterBits uint64
+}
+
+// ProbeAll consults every initialized peer summary for url and returns
+// the full audit: one SummaryProbe per peer, sorted, matching and
+// non-matching alike. It is the traced sibling of Candidates — it
+// allocates the evidence Candidates deliberately avoids, so the node only
+// calls it for requests that carry a trace.
+func (pt *PeerTable) ProbeAll(url string) []SummaryProbe {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	out := make([]SummaryProbe, 0, len(pt.peers))
+	for id, ps := range pt.peers {
+		idx := ps.filter.Indexes(url)
+		out = append(out, SummaryProbe{
+			Peer:       id,
+			Match:      ps.filter.TestIndexes(idx),
+			BitIndexes: idx,
+			Generation: ps.updates,
+			Age:        time.Since(ps.changed),
+			FilterBits: ps.filter.Size(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out
 }
 

@@ -24,6 +24,7 @@ import (
 	"summarycache/internal/icp"
 	"summarycache/internal/lru"
 	"summarycache/internal/obs"
+	"summarycache/internal/tracing"
 )
 
 // Mode selects the cooperation protocol.
@@ -105,6 +106,14 @@ type Config struct {
 	// protocol node (peer transitions, summary publications). Nil:
 	// events are discarded.
 	Logger *slog.Logger
+	// Tracer, when set, records a distributed trace per client request —
+	// spans for the local lookup, each peer summary consulted (with its
+	// decision audit), the ICP round-trip, sibling fetches, and origin
+	// fetches — retained per the tracer's head/tail sampling policy and
+	// served at /debug/traces. A whole mesh may share one Tracer (as with
+	// Metrics) or each proxy may own one. Nil: tracing disabled; the
+	// local-hit hot path performs no extra allocation.
+	Tracer *tracing.Tracer
 }
 
 // Stats counts proxy activity.
@@ -196,7 +205,8 @@ type Proxy struct {
 
 	metrics proxyMetrics
 	reg     *obs.Registry
-	health  *obs.Health // non-node modes; ModeSCICP delegates to the node
+	health  *obs.Health     // non-node modes; ModeSCICP delegates to the node
+	tracer  *tracing.Tracer // nil: tracing disabled
 }
 
 // Start launches a proxy.
@@ -249,6 +259,7 @@ func Start(cfg Config) (*Proxy, error) {
 	labels := obs.L("proxy", ln.Addr().String())
 	p.metrics = newProxyMetrics(reg, labels)
 	p.registerCacheMetrics(reg, labels)
+	p.tracer = cfg.Tracer
 
 	switch cfg.Mode {
 	case ModeNone:
@@ -270,6 +281,7 @@ func Start(cfg Config) (*Proxy, error) {
 			QueryTimeout:      cfg.QueryTimeout,
 			Metrics:           reg,
 			Logger:            cfg.Logger,
+			Tracer:            cfg.Tracer,
 		})
 		if err != nil {
 			ln.Close()
@@ -417,6 +429,19 @@ func (p *Proxy) FlushSummary() {
 	}
 }
 
+// Purge removes a document from the local cache, reporting whether it was
+// present. The removal flows through the normal eviction path, so the
+// summary directory records the deletion — though whether peers learn of
+// it depends on the publication policy (a high MinUpdateFlips leaves their
+// replicas stale, the setup behind every false hit).
+func (p *Proxy) Purge(target string) bool {
+	return p.cache.Remove(target)
+}
+
+// Tracer returns the tracer the proxy records request traces into (nil
+// when tracing is disabled) — what an admin mux serves at /debug/traces.
+func (p *Proxy) Tracer() *tracing.Tracer { return p.tracer }
+
 // --- cache body bookkeeping ---
 
 func (p *Proxy) onInsert(e lru.Entry) {
@@ -465,11 +490,18 @@ func (p *Proxy) handleICP(from *net.UDPAddr, m icp.Message) {
 	if m.Op != icp.OpQuery {
 		return
 	}
+	start := time.Now()
 	op := icp.OpMiss
 	if p.cache.Contains(m.URL) {
 		op = icp.OpHit
 	}
 	_ = p.icpConn.Send(from, icp.NewReply(op, m.ReqNum, m.URL))
+	if p.tracer != nil {
+		// Classic ICP queries every sibling on every miss, so a MISS
+		// answer is ordinary — not the anomaly it is under SC-ICP.
+		p.tracer.ICPAnswer(p.icpConn.Addr().String(), from.String(), m.ReqNum,
+			m.URL, op == icp.OpHit, start, false)
+	}
 }
 
 // --- HTTP serving ---
@@ -510,30 +542,64 @@ func (p *Proxy) serveProxy(w http.ResponseWriter, r *http.Request, target string
 	p.metrics.clientReqs.Inc()
 	p.metrics.inflight.Inc()
 	start := time.Now()
-	outcome := p.serveProxyClassified(w, r, target)
+	// The listener-address string is only materialized when a tracer is
+	// installed, so the disabled path adds no allocation.
+	var tr *tracing.Trace
+	if p.tracer != nil {
+		tr = p.tracer.StartRequest(p.ln.Addr().String(), target)
+	}
+	outcome := p.serveProxyClassified(w, r, target, tr)
 	if outcome != "" {
 		p.metrics.latency[outcome].ObserveDuration(time.Since(start))
+		tr.Finish(outcome)
+	} else {
+		tr.Finish("error")
 	}
 	p.metrics.inflight.Dec()
 }
 
 // serveProxyClassified serves the request and returns its outcome class
 // for the latency histogram ("" for malformed or failed requests, which
-// measure client errors rather than cache behavior).
-func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, target string) string {
+// measure client errors rather than cache behavior). tr is nil for
+// untraced requests.
+func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, target string, tr *tracing.Trace) string {
 	if _, err := url.Parse(target); err != nil {
 		http.Error(w, "bad target url", http.StatusBadRequest)
 		return ""
 	}
 
+	lookupStart := time.Now()
 	if body, ok := p.cachedBody(target); ok {
+		if tr != nil {
+			tr.AddSpan(tracing.Span{
+				Name:       tracing.SpanLocalLookup,
+				Start:      lookupStart,
+				DurationUS: time.Since(lookupStart).Microseconds(),
+				Actual:     "hit",
+			})
+		}
 		p.metrics.localHits.Inc()
 		writeDoc(w, body)
 		return outcomeLocalHit
 	}
+	if tr != nil {
+		tr.AddSpan(tracing.Span{
+			Name:       tracing.SpanLocalLookup,
+			Start:      lookupStart,
+			DurationUS: time.Since(lookupStart).Microseconds(),
+			Actual:     "miss",
+		})
+	}
 
-	// Local miss: try siblings per the cooperation mode.
-	body, ok, falseHit := p.tryRemote(r.Context(), target)
+	// Local miss: try siblings per the cooperation mode. The trace rides
+	// the context down through the node's lookup (summary probes, ICP
+	// round-trip) and the fetch helpers — attached only when tracing, so
+	// the untraced path skips the context allocation too.
+	ctx := r.Context()
+	if tr != nil {
+		ctx = tracing.NewContext(ctx, tr)
+	}
+	body, ok, falseHit := p.tryRemote(ctx, target)
 	if ok {
 		p.metrics.remoteHits.Inc()
 		if !p.cfg.SingleCopy {
@@ -542,8 +608,12 @@ func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, tar
 		writeDoc(w, body)
 		return outcomeRemoteHit
 	}
+	if falseHit {
+		// Tail-based sampling: a false hit is always worth keeping.
+		tr.MarkAnomalous("false_hit")
+	}
 
-	body, version, err := p.fetchOrigin(r.Context(), target)
+	body, version, err := p.fetchOrigin(ctx, target)
 	if err != nil {
 		http.Error(w, "origin fetch failed: "+err.Error(), http.StatusBadGateway)
 		return ""
@@ -579,7 +649,27 @@ func (p *Proxy) tryRemote(ctx context.Context, target string) (body []byte, ok, 
 		}
 		qctx, cancel := context.WithTimeout(ctx, p.cfg.QueryTimeout)
 		defer cancel()
-		hit, from, err := p.icpConn.QueryAll(qctx, peers, target)
+		qstart := time.Now()
+		hit, from, reqNum, err := p.icpConn.QueryAll(qctx, peers, target)
+		if tr := tracing.FromContext(ctx); tr != nil {
+			// Adopt the exchange's derived ID so the answering proxies'
+			// traces join this one.
+			tr.SetICPExchange(p.icpConn.Addr().String(), reqNum)
+			s := tracing.Span{
+				Name:       tracing.SpanICPQuery,
+				Start:      qstart,
+				DurationUS: time.Since(qstart).Microseconds(),
+				ReqNum:     reqNum,
+				Actual:     "all_miss",
+			}
+			if hit {
+				s.Actual = "hit:" + from.String()
+			}
+			if err != nil {
+				s.Err = err.Error()
+			}
+			tr.AddSpan(s)
+		}
 		if err != nil || !hit {
 			// Classic ICP asked everyone; an all-miss round is an
 			// ordinary miss, not a false indication.
@@ -602,7 +692,23 @@ func (p *Proxy) tryRemote(ctx context.Context, target string) (body []byte, ok, 
 	return nil, false, false
 }
 
-func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string) ([]byte, bool) {
+func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string) (body []byte, ok bool) {
+	if tr := tracing.FromContext(ctx); tr != nil {
+		start := time.Now()
+		defer func() {
+			actual := "ok"
+			if !ok {
+				actual = "failed"
+			}
+			tr.AddSpan(tracing.Span{
+				Name:       tracing.SpanPeerFetch,
+				Peer:       peer.String(),
+				Start:      start,
+				DurationUS: time.Since(start).Microseconds(),
+				Actual:     actual,
+			})
+		}()
+	}
 	p.peerMu.RLock()
 	base := p.peerHTTP[peer.String()]
 	p.peerMu.RUnlock()
@@ -624,7 +730,7 @@ func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string)
 		io.Copy(io.Discard, resp.Body)
 		return nil, false // race: sibling evicted it (a false hit after all)
 	}
-	body, err := io.ReadAll(resp.Body)
+	body, err = io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, false
 	}
@@ -632,6 +738,21 @@ func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string)
 }
 
 func (p *Proxy) fetchOrigin(ctx context.Context, target string) (body []byte, version int64, err error) {
+	if tr := tracing.FromContext(ctx); tr != nil {
+		start := time.Now()
+		defer func() {
+			s := tracing.Span{
+				Name:       tracing.SpanOriginFetch,
+				Start:      start,
+				DurationUS: time.Since(start).Microseconds(),
+				Actual:     "ok",
+			}
+			if err != nil {
+				s.Actual, s.Err = "failed", err.Error()
+			}
+			tr.AddSpan(s)
+		}()
+	}
 	p.metrics.originFetches.Inc()
 	fetchURL := target
 	if p.cfg.ParentURL != "" {

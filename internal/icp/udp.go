@@ -30,6 +30,13 @@ type Handler func(from *net.UDPAddr, m Message)
 // ErrClosed is returned by operations on a closed Conn.
 var ErrClosed = errors.New("icp: connection closed")
 
+// reply is one routed response to an in-flight query, attributed to its
+// sender so a shared-RequestNumber fan-out can tell the peers apart.
+type reply struct {
+	m    Message
+	from *net.UDPAddr
+}
+
 // Conn is an ICP endpoint over UDP: it serves peer queries via a Handler
 // and issues queries with request-number matching and timeouts.
 type Conn struct {
@@ -40,7 +47,7 @@ type Conn struct {
 	nextReq                                     atomic.Uint32
 
 	mu      sync.Mutex
-	pending map[uint32]chan Message
+	pending map[uint32]chan reply
 	closed  bool
 	started bool
 	done    chan struct{}
@@ -64,7 +71,7 @@ func Listen(addr string, handler Handler) (*Conn, error) {
 	c := &Conn{
 		pc:      pc,
 		handler: handler,
-		pending: make(map[uint32]chan Message),
+		pending: make(map[uint32]chan reply),
 		done:    make(chan struct{}),
 	}
 	return c, nil
@@ -110,7 +117,7 @@ func (c *Conn) Close() error {
 	for _, ch := range c.pending {
 		close(ch)
 	}
-	c.pending = make(map[uint32]chan Message)
+	c.pending = make(map[uint32]chan reply)
 	started := c.started
 	c.mu.Unlock()
 	err := c.pc.Close()
@@ -145,8 +152,33 @@ func (c *Conn) Send(to *net.UDPAddr, m Message) error {
 	return nil
 }
 
-// NextReqNum returns a fresh request number.
+// NextReqNum returns a fresh request number. The 32-bit counter wraps
+// naturally; reply routing keys on the number alone, so correctness only
+// requires that concurrently in-flight queries carry distinct numbers —
+// a node would need 2^32 simultaneous queries to collide.
 func (c *Conn) NextReqNum() uint32 { return c.nextReq.Add(1) }
+
+// SeedReqNum positions the request-number counter so the next allocation
+// returns v+1. Tests use it to exercise the 2^32 wraparound without
+// issuing four billion queries.
+func (c *Conn) SeedReqNum(v uint32) { c.nextReq.Store(v) }
+
+// register enrolls a pending query channel under reqNum.
+func (c *Conn) register(reqNum uint32, ch chan reply) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.pending[reqNum] = ch
+	return nil
+}
+
+func (c *Conn) unregister(reqNum uint32) {
+	c.mu.Lock()
+	delete(c.pending, reqNum)
+	c.mu.Unlock()
+}
 
 // Query sends an ICP query for url to the peer and waits for its reply
 // (HIT, MISS, MISS_NOFETCH, DENIED or ERR) until ctx is done. A lost
@@ -154,70 +186,81 @@ func (c *Conn) NextReqNum() uint32 { return c.nextReq.Add(1) }
 // exactly as Squid does.
 func (c *Conn) Query(ctx context.Context, to *net.UDPAddr, url string) (Message, error) {
 	reqNum := c.NextReqNum()
-	ch := make(chan Message, 1)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return Message{}, ErrClosed
+	ch := make(chan reply, 1)
+	if err := c.register(reqNum, ch); err != nil {
+		return Message{}, err
 	}
-	c.pending[reqNum] = ch
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.pending, reqNum)
-		c.mu.Unlock()
-	}()
+	defer c.unregister(reqNum)
 
 	if err := c.Send(to, NewQuery(reqNum, url)); err != nil {
 		return Message{}, err
 	}
 	select {
-	case m, ok := <-ch:
+	case r, ok := <-ch:
 		if !ok {
 			return Message{}, ErrClosed
 		}
-		return m, nil
+		return r.m, nil
 	case <-ctx.Done():
 		return Message{}, ctx.Err()
 	}
 }
 
-// QueryAll queries several peers concurrently and returns the first HIT,
-// or the last non-hit reply when none hits (zero Message if every peer
-// timed out). It implements the ICP multicast-query/first-hit pattern.
-func (c *Conn) QueryAll(ctx context.Context, peers []*net.UDPAddr, url string) (hit bool, from *net.UDPAddr, err error) {
+// QueryAll fans one query out to several peers and returns the first HIT
+// (false when every peer replied MISS-class or the context expired — a
+// timeout is an ordinary miss, as in Squid). The whole fan-out shares a
+// single RequestNumber, as Squid's sibling queries do; reqNum reports it
+// so callers can correlate the exchange (the tracing layer derives the
+// cross-proxy trace ID from it).
+func (c *Conn) QueryAll(ctx context.Context, peers []*net.UDPAddr, url string) (hit bool, from *net.UDPAddr, reqNum uint32, err error) {
+	return c.QueryAllFunc(ctx, peers, url, nil)
+}
+
+// QueryAllFunc is QueryAll with a per-reply observation hook: onReply
+// (when non-nil) is invoked on the caller's goroutine for every reply
+// that arrives before the fan-out resolves, attributed to its sender.
+// The tracing layer uses it to record each peer's actual answer.
+func (c *Conn) QueryAllFunc(ctx context.Context, peers []*net.UDPAddr, url string, onReply func(from *net.UDPAddr, op Opcode)) (hit bool, from *net.UDPAddr, reqNum uint32, err error) {
 	if len(peers) == 0 {
-		return false, nil, nil
+		return false, nil, 0, nil
 	}
-	type result struct {
-		m    Message
-		from *net.UDPAddr
-		err  error
+	reqNum = c.NextReqNum()
+	ch := make(chan reply, len(peers))
+	if err := c.register(reqNum, ch); err != nil {
+		return false, nil, reqNum, err
 	}
-	ch := make(chan result, len(peers))
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	for _, p := range peers {
-		go func(p *net.UDPAddr) {
-			m, err := c.Query(cctx, p, url)
-			ch <- result{m, p, err}
-		}(p)
-	}
+	defer c.unregister(reqNum)
+
+	q := NewQuery(reqNum, url)
+	sent := 0
 	var lastErr error
-	for range peers {
-		r := <-ch
-		if r.err != nil {
-			lastErr = r.err
+	for _, p := range peers {
+		if err := c.Send(p, q); err != nil {
+			lastErr = err
 			continue
 		}
-		if r.m.Op == OpHit || r.m.Op == OpHitObj {
-			return true, r.from, nil
+		sent++
+	}
+	if sent == 0 {
+		return false, nil, reqNum, lastErr
+	}
+	for i := 0; i < sent; i++ {
+		select {
+		case r, ok := <-ch:
+			if !ok {
+				return false, nil, reqNum, ErrClosed
+			}
+			if onReply != nil {
+				onReply(r.from, r.m.Op)
+			}
+			if r.m.Op == OpHit || r.m.Op == OpHitObj {
+				return true, r.from, reqNum, nil
+			}
+		case <-ctx.Done():
+			return false, nil, reqNum, nil // timeouts are ordinary misses
 		}
 	}
-	if errors.Is(lastErr, context.Canceled) || errors.Is(lastErr, context.DeadlineExceeded) {
-		lastErr = nil // timeouts are ordinary misses
-	}
-	return false, nil, lastErr
+	return false, nil, reqNum, nil
 }
 
 func (c *Conn) readLoop() {
@@ -252,7 +295,7 @@ func (c *Conn) readLoop() {
 			c.mu.Unlock()
 			if ch != nil {
 				select {
-				case ch <- m:
+				case ch <- reply{m: m, from: from}:
 				default:
 				}
 				continue

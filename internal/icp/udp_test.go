@@ -2,6 +2,7 @@ package icp
 
 import (
 	"context"
+	"math"
 	"net"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"summarycache/internal/bloom"
 	"summarycache/internal/hashing"
+	"summarycache/internal/tracing"
 )
 
 // echoResponder answers queries with HIT for URLs in its set, MISS
@@ -98,7 +100,7 @@ func TestQueryAll(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 
-	hit, from, err := cli.QueryAll(ctx, []*net.UDPAddr{miss1.Addr(), hitSrv.Addr(), miss2.Addr()}, "http://doc/")
+	hit, from, req1, err := cli.QueryAll(ctx, []*net.UDPAddr{miss1.Addr(), hitSrv.Addr(), miss2.Addr()}, "http://doc/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,13 +108,16 @@ func TestQueryAll(t *testing.T) {
 		t.Fatalf("hit=%v from=%v, want hit from %v", hit, from, hitSrv.Addr())
 	}
 
-	hit, _, err = cli.QueryAll(ctx, []*net.UDPAddr{miss1.Addr(), miss2.Addr()}, "http://doc/")
+	hit, _, req2, err := cli.QueryAll(ctx, []*net.UDPAddr{miss1.Addr(), miss2.Addr()}, "http://doc/")
 	if err != nil || hit {
 		t.Fatalf("hit=%v err=%v, want miss", hit, err)
 	}
+	if req2 == req1 {
+		t.Fatalf("consecutive fan-outs share RequestNumber %d", req1)
+	}
 
 	// No peers: trivially a miss.
-	hit, _, err = cli.QueryAll(ctx, nil, "http://doc/")
+	hit, _, _, err = cli.QueryAll(ctx, nil, "http://doc/")
 	if err != nil || hit {
 		t.Fatal("empty peer set should be a clean miss")
 	}
@@ -128,12 +133,64 @@ func TestQueryAllTimeoutsAreMisses(t *testing.T) {
 	cli := client(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	hit, _, err := cli.QueryAll(ctx, []*net.UDPAddr{silent.Addr()}, "http://x/")
+	hit, _, _, err := cli.QueryAll(ctx, []*net.UDPAddr{silent.Addr()}, "http://x/")
 	if err != nil {
 		t.Fatalf("timeout should be a miss, got error %v", err)
 	}
 	if hit {
 		t.Fatal("silent peer produced a hit")
+	}
+}
+
+// TestRequestNumberWraparound crosses the 2^32 request-number boundary
+// and checks that query bookkeeping (reply routing, pending-table cleanup)
+// and trace-ID correlation both survive: reqNum 0 is an ordinary value,
+// not a sentinel.
+func TestRequestNumberWraparound(t *testing.T) {
+	hitSrv := echoResponder(t, map[string]bool{"http://doc/": true})
+	missSrv := echoResponder(t, nil)
+	cli := client(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Position the counter so the six fan-outs below carry reqNums
+	// MaxUint32-2, MaxUint32-1, MaxUint32, 0, 1, 2 — straddling the wrap.
+	cli.SeedReqNum(math.MaxUint32 - 3)
+
+	querier := cli.Addr().String()
+	seenReq := make(map[uint32]bool)
+	seenID := make(map[tracing.ID]bool)
+	for i := 0; i < 6; i++ {
+		hit, from, reqNum, err := cli.QueryAll(ctx,
+			[]*net.UDPAddr{missSrv.Addr(), hitSrv.Addr()}, "http://doc/")
+		if err != nil {
+			t.Fatalf("fan-out %d: %v", i, err)
+		}
+		if !hit || from.Port != hitSrv.Addr().Port {
+			t.Fatalf("fan-out %d: hit=%v from=%v, want hit from %v",
+				i, hit, from, hitSrv.Addr())
+		}
+		if seenReq[reqNum] {
+			t.Fatalf("fan-out %d: reqNum %d reused within the window", i, reqNum)
+		}
+		seenReq[reqNum] = true
+		id := tracing.IDFromICP(querier, reqNum)
+		if seenID[id] {
+			t.Fatalf("fan-out %d: trace ID %v collides across the wrap", i, id)
+		}
+		seenID[id] = true
+	}
+	if !seenReq[0] || !seenReq[math.MaxUint32] {
+		t.Fatalf("window %v did not straddle the wrap", seenReq)
+	}
+
+	// Every fan-out unregistered itself: a wrapped reqNum must not leak
+	// or clobber pending-table entries.
+	cli.mu.Lock()
+	leaked := len(cli.pending)
+	cli.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("pending table leaked %d entries across the wrap", leaked)
 	}
 }
 

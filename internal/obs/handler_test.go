@@ -125,6 +125,59 @@ func TestHandlerHealthz(t *testing.T) {
 	}
 }
 
+func TestHandlerHealthzBuildInfo(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Build BuildInfo `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	// Test binaries always carry module build info.
+	if out.Build.GoVersion == "" {
+		t.Errorf("build.go_version missing: %+v", out.Build)
+	}
+	if out.Build.Path != "summarycache" {
+		t.Errorf("build.path = %q, want summarycache", out.Build.Path)
+	}
+	if got := ReadBuildInfo(); got != out.Build {
+		t.Errorf("handler build %+v != ReadBuildInfo() %+v", out.Build, got)
+	}
+}
+
+func TestHandlerMounts(t *testing.T) {
+	extra := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("mounted"))
+	})
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil,
+		Mount{Pattern: "/debug/traces", Handler: extra}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "mounted" {
+		t.Fatalf("mounted handler: status %d body %q", resp.StatusCode, body)
+	}
+	// The built-in endpoints still work alongside the mount.
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics alongside mount: status %d", resp2.StatusCode)
+	}
+}
+
 func TestHandlerPprof(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(NewRegistry(), nil))
 	defer srv.Close()

@@ -127,11 +127,17 @@ func (h *Histogram) BucketCounts() []uint64 {
 
 // Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
 // within the bucket containing it, the same estimate Prometheus's
-// histogram_quantile computes. It returns NaN with no observations; a
-// quantile landing in the +Inf bucket reports the largest finite bound.
+// histogram_quantile computes. With zero observations every quantile is 0:
+// a defined, JSON-marshalable value (NaN breaks encoding/json and reads as
+// "missing" on dashboards, where 0 reads correctly as "no data yet"). A
+// NaN q is a caller error and returns NaN; a quantile landing in the +Inf
+// bucket reports the largest finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
-	if total == 0 || math.IsNaN(q) {
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q < 0 {

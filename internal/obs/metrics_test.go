@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"time"
@@ -98,8 +99,15 @@ func TestHistogramQuantileUniform(t *testing.T) {
 
 func TestHistogramQuantileEdgeCases(t *testing.T) {
 	h := newHistogram([]float64{1, 2})
-	if got := h.Quantile(0.5); !math.IsNaN(got) {
-		t.Fatalf("empty histogram quantile = %v, want NaN", got)
+	// Zero observations: every quantile is 0 — defined and
+	// JSON-marshalable, unlike the NaN it used to return.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if b, err := json.Marshal(h.Quantile(0.5)); err != nil || string(b) != "0" {
+		t.Fatalf("empty quantile must marshal as 0: %s, %v", b, err)
 	}
 	h.Observe(1000) // +Inf bucket
 	if got := h.Quantile(0.99); got != 2 {

@@ -1,0 +1,77 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the trace store as JSON, meant to be mounted at
+// /debug/traces on the obs admin endpoint:
+//
+//	GET /debug/traces                 newest-first summary list
+//	GET /debug/traces?id=<hex>        every retained trace with that ID
+//	GET /debug/traces?outcome=<o>     list filtered by outcome (e.g. false_hit)
+//	GET /debug/traces?kind=<k>        list filtered by kind (request, icp_answer)
+//
+// The list view elides spans; the id view includes them (the single-trace
+// view, plus — when one store serves a whole mesh — the answering-side
+// traces that share the exchange ID).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		q := req.URL.Query()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+
+		if idStr := q.Get("id"); idStr != "" {
+			id, ok := ParseID(idStr)
+			if !ok {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			matches := t.Find(id)
+			if len(matches) == 0 {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			out := make([]view, 0, len(matches))
+			for _, tr := range matches {
+				out = append(out, tr.snapshotView())
+			}
+			enc.Encode(out)
+			return
+		}
+
+		outcome, kind := q.Get("outcome"), q.Get("kind")
+		type summary struct {
+			ID         string `json:"id"`
+			Node       string `json:"node"`
+			Kind       string `json:"kind"`
+			URL        string `json:"url"`
+			Outcome    string `json:"outcome"`
+			Anomaly    string `json:"anomaly,omitempty"`
+			Kept       string `json:"kept"`
+			DurationUS int64  `json:"duration_us"`
+			Spans      int    `json:"spans"`
+		}
+		var list []summary
+		for _, tr := range t.Traces() {
+			v := tr.snapshotView()
+			if outcome != "" && v.Outcome != outcome {
+				continue
+			}
+			if kind != "" && v.Kind != kind {
+				continue
+			}
+			list = append(list, summary{
+				ID: v.ID, Node: v.Node, Kind: v.Kind, URL: v.URL,
+				Outcome: v.Outcome, Anomaly: v.Anomaly, Kept: v.Kept,
+				DurationUS: v.DurationUS, Spans: len(v.Spans),
+			})
+		}
+		enc.Encode(struct {
+			Count  int       `json:"count"`
+			Traces []summary `json:"traces"`
+		}{len(list), list})
+	})
+}

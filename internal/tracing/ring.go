@@ -1,0 +1,41 @@
+package tracing
+
+import "sync/atomic"
+
+// ring is a bounded lock-free trace store: a fixed slot array written by
+// an atomically claimed monotone cursor, overwriting oldest-first. Writers
+// never block and never allocate beyond the trace itself; readers take a
+// consistent-enough snapshot by loading each slot's pointer (a reader
+// racing a writer sees either the old or the new trace, both complete,
+// since traces are stored only after Finish).
+type ring struct {
+	slots []atomic.Pointer[Trace]
+	head  atomic.Uint64 // next write position (monotone; slot = head % len)
+}
+
+func (r *ring) init(n int) {
+	r.slots = make([]atomic.Pointer[Trace], n)
+}
+
+// put stores a completed trace, displacing the oldest when full.
+func (r *ring) put(t *Trace) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// snapshot returns the stored traces, newest first.
+func (r *ring) snapshot() []*Trace {
+	n := uint64(len(r.slots))
+	head := r.head.Load()
+	count := head
+	if count > n {
+		count = n
+	}
+	out := make([]*Trace, 0, count)
+	for off := uint64(1); off <= count; off++ {
+		if t := r.slots[(head-off)%n].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
