@@ -90,7 +90,7 @@ func TestPublicAPIFilters(t *testing.T) {
 }
 
 func TestPublicAPICacheAndRecommend(t *testing.T) {
-	cache, err := summarycache.NewCache(1<<20, summarycache.CacheConfig{})
+	cache, err := summarycache.NewCache(summarycache.CacheConfig{Capacity: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	proxybench -experiment=table2|table4|table5|all [-latency=20ms] [-clients=30] [-requests=200]
+//	proxybench -experiment=table2|table4|table5|micro|all [-latency=20ms] [-clients=30] [-requests=200]
+//
+// -experiment=micro runs the concurrent-load microbenchmarks (sharded LRU
+// and lock-free summary probes against the frozen single-lock baselines,
+// plus SC-ICP mesh throughput) and writes the results as JSON to -out
+// (default BENCH_PR3.json).
 //
 // With -admin set, an observability endpoint serves live /metrics,
 // /debug/vars and /debug/pprof/ for every proxy in the running mesh —
@@ -15,24 +20,24 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
-	"summarycache/internal/bench"
-	"summarycache/internal/httpproxy"
-	"summarycache/internal/obs"
-	"summarycache/internal/tracegen"
-	"summarycache/internal/tracing"
+	sc "summarycache"
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment: all, table2, table4, table5")
+	experiment = flag.String("experiment", "all", "experiment: all, table2, table4, table5, micro (micro is not part of all)")
+	microOut   = flag.String("out", "BENCH_PR3.json", "output path for -experiment=micro JSON results")
+	microDur   = flag.Duration("micro-duration", 500*time.Millisecond, "per-scenario duration for -experiment=micro")
 	latency    = flag.Duration("latency", 20*time.Millisecond, "origin latency (paper: 1s)")
 	clients    = flag.Int("clients", 30, "clients per proxy (paper: 30)")
 	requests   = flag.Int("requests", 200, "requests per client (paper: 200)")
@@ -48,17 +53,17 @@ var (
 // and stale series from a finished mesh would otherwise be inherited). The
 // admin endpoint always serves the live run.
 var (
-	current       atomic.Pointer[obs.Registry]
-	currentTracer atomic.Pointer[tracing.Tracer]
+	current       atomic.Pointer[sc.Registry]
+	currentTracer atomic.Pointer[sc.Tracer]
 )
 
 func tracingOn() bool { return *traceRate > 0 || *traceBuf > 0 }
 
-func newRunRegistry() *obs.Registry {
-	reg := obs.NewRegistry()
+func newRunRegistry() *sc.Registry {
+	reg := sc.NewRegistry()
 	current.Store(reg)
 	if tracingOn() {
-		currentTracer.Store(tracing.New(tracing.Config{
+		currentTracer.Store(sc.NewTracer(sc.TracerConfig{
 			HeadRate: *traceRate,
 			Buffer:   *traceBuf,
 			Registry: reg,
@@ -68,9 +73,9 @@ func newRunRegistry() *obs.Registry {
 }
 
 // runTracer returns the live run's shared tracer (nil: tracing disabled).
-func runTracer() *tracing.Tracer { return currentTracer.Load() }
+func runTracer() *sc.Tracer { return currentTracer.Load() }
 
-var modes = []httpproxy.Mode{httpproxy.ModeNone, httpproxy.ModeICP, httpproxy.ModeSCICP}
+var modes = []sc.ProxyMode{sc.ProxyModeNone, sc.ProxyModeICP, sc.ProxyModeSCICP}
 
 func main() {
 	flag.Parse()
@@ -90,11 +95,11 @@ func run() error {
 		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			// Re-resolved per request: each run swaps in a fresh registry
 			// and tracer, and the admin plane must follow the live mesh.
-			var mounts []obs.Mount
+			var mounts []sc.Mount
 			if tr := runTracer(); tr != nil {
-				mounts = append(mounts, obs.Mount{Pattern: "/debug/traces", Handler: tr.Handler()})
+				mounts = append(mounts, sc.Mount{Pattern: "/debug/traces", Handler: tr.Handler()})
 			}
-			obs.NewHandler(current.Load(), nil, mounts...).ServeHTTP(w, r)
+			sc.NewAdminHandler(current.Load(), nil, mounts...).ServeHTTP(w, r)
 		})}
 		go srv.Serve(ln)
 		defer srv.Close()
@@ -103,6 +108,9 @@ func run() error {
 			endpoints += " /debug/traces"
 		}
 		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (%s)\n", ln.Addr(), endpoints)
+	}
+	if *experiment == "micro" {
+		return micro()
 	}
 	want := func(n string) bool { return *experiment == "all" || *experiment == n }
 	if want("table2") {
@@ -113,19 +121,19 @@ func run() error {
 		}
 	}
 	if want("table4") {
-		if err := replay(bench.ClientBound, "Table IV (experiment 3: client-bound replay)"); err != nil {
+		if err := replay(sc.ClientBound, "Table IV (experiment 3: client-bound replay)"); err != nil {
 			return err
 		}
 	}
 	if want("table5") {
-		if err := replay(bench.RoundRobin, "Table V (experiment 4: round-robin replay)"); err != nil {
+		if err := replay(sc.RoundRobin, "Table V (experiment 4: round-robin replay)"); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func render(title string, results []bench.Result) {
+func render(title string, results []sc.BenchResult) {
 	fmt.Printf("== %s ==\n", title)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "mode\thit ratio\tremote hits\tlatency (mean)\tlatency (p90)\tuser CPU\tsys CPU\tUDP msgs\tHTTP msgs\torigin reqs\tload CV")
@@ -142,9 +150,9 @@ func render(title string, results []bench.Result) {
 
 func table2(hitRatio float64) error {
 	fmt.Fprintf(os.Stderr, "running Table II at inherent hit ratio %.0f%%...\n", 100*hitRatio)
-	var results []bench.Result
+	var results []sc.BenchResult
 	for _, m := range modes {
-		r, err := bench.RunSynthetic(bench.SyntheticConfig{
+		r, err := sc.RunSynthetic(sc.SyntheticConfig{
 			Mode:              m,
 			Proxies:           4,
 			ClientsPerProxy:   *clients,
@@ -165,19 +173,49 @@ func table2(hitRatio float64) error {
 	return nil
 }
 
-func replay(a bench.Assignment, title string) error {
+func micro() error {
+	fmt.Fprintf(os.Stderr, "running hot-path microbenchmarks at GOMAXPROCS=%d...\n", runtime.GOMAXPROCS(0))
+	res, err := sc.RunMicro(sc.MicroConfig{Duration: *microDur})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tgoroutines\tops/sec\tp99\tbaseline ops/sec\tbaseline p99\tspeedup")
+	for _, s := range res.Scenarios {
+		base, basep99, speedup := "-", "-", "-"
+		if s.Baseline != nil {
+			base = fmt.Sprintf("%.0f", s.Baseline.OpsPerSec)
+			basep99 = fmt.Sprintf("%.1fµs", s.Baseline.P99Micros)
+			speedup = fmt.Sprintf("%.2fx", s.Speedup)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1fµs\t%s\t%s\t%s\n",
+			s.Name, s.Goroutines, s.Current.OpsPerSec, s.Current.P99Micros, base, basep99, speedup)
+	}
+	w.Flush()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*microOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *microOut)
+	return nil
+}
+
+func replay(a sc.Assignment, title string) error {
 	fmt.Fprintf(os.Stderr, "generating UPisa trace for %v replay...\n", a)
-	reqs, _, err := tracegen.GeneratePreset(tracegen.UPisa, *traceScale)
+	reqs, _, err := sc.GeneratePreset(sc.PresetUPisa, *traceScale)
 	if err != nil {
 		return err
 	}
 	if len(reqs) > *replayN {
 		reqs = reqs[:*replayN]
 	}
-	var results []bench.Result
+	var results []sc.BenchResult
 	for _, m := range modes {
 		fmt.Fprintf(os.Stderr, "replaying %d requests under %v...\n", len(reqs), m)
-		r, err := bench.RunReplay(bench.ReplayConfig{
+		r, err := sc.RunReplay(sc.ReplayConfig{
 			Mode:          m,
 			Proxies:       4,
 			Workers:       80,

@@ -31,10 +31,7 @@ import (
 	"syscall"
 	"time"
 
-	"summarycache/internal/core"
-	"summarycache/internal/httpproxy"
-	"summarycache/internal/obs"
-	"summarycache/internal/tracing"
+	sc "summarycache"
 )
 
 type peerList []string
@@ -71,14 +68,14 @@ func main() {
 	}
 }
 
-func parseMode(s string) (httpproxy.Mode, error) {
+func parseMode(s string) (sc.ProxyMode, error) {
 	switch strings.ToLower(s) {
 	case "none":
-		return httpproxy.ModeNone, nil
+		return sc.ProxyModeNone, nil
 	case "icp":
-		return httpproxy.ModeICP, nil
+		return sc.ProxyModeICP, nil
 	case "scicp", "sc-icp":
-		return httpproxy.ModeSCICP, nil
+		return sc.ProxyModeSCICP, nil
 	}
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
@@ -118,13 +115,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	reg := obs.NewRegistry()
-	var tracer *tracing.Tracer
+	reg := sc.NewRegistry()
+	var tracer *sc.Tracer
 	if *traceRate > 0 || *traceBuf > 0 {
 		if *traceRate < 0 || *traceRate > 1 {
 			return fmt.Errorf("-trace-sample %v outside [0,1]", *traceRate)
 		}
-		tracer = tracing.New(tracing.Config{
+		tracer = sc.NewTracer(sc.TracerConfig{
 			HeadRate: *traceRate,
 			Buffer:   *traceBuf,
 			Registry: reg,
@@ -132,12 +129,12 @@ func run() error {
 		})
 	}
 	cacheBytes := *cacheMB << 20
-	p, err := httpproxy.Start(httpproxy.Config{
+	p, err := sc.StartProxy(sc.ProxyConfig{
 		ListenAddr: *httpAddr,
 		ICPAddr:    *icpAddr,
 		Mode:       m,
 		CacheBytes: cacheBytes,
-		Summary: core.DirectoryConfig{
+		Summary: sc.DirectoryConfig{
 			ExpectedDocs:    uint64(cacheBytes / 8192),
 			LoadFactor:      *loadf,
 			UpdateThreshold: *threshold,
@@ -152,7 +149,7 @@ func run() error {
 	}
 	defer p.Close()
 	attrs := []any{"mode", m.String(), "http", p.URL()}
-	if m != httpproxy.ModeNone {
+	if m != sc.ProxyModeNone {
 		attrs = append(attrs, "icp", p.ICPAddr().String())
 	}
 	log.Info("proxy up", attrs...)
@@ -162,13 +159,13 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("admin listen %q: %w", *adminAddr, err)
 		}
-		var mounts []obs.Mount
+		var mounts []sc.Mount
 		endpoints := "/metrics /debug/vars /debug/pprof/ /healthz"
 		if tracer != nil {
-			mounts = append(mounts, obs.Mount{Pattern: "/debug/traces", Handler: tracer.Handler()})
+			mounts = append(mounts, sc.Mount{Pattern: "/debug/traces", Handler: tracer.Handler()})
 			endpoints += " /debug/traces"
 		}
-		admin := &http.Server{Handler: obs.NewHandler(reg, p.Health(), mounts...)}
+		admin := &http.Server{Handler: sc.NewAdminHandler(reg, p.Health(), mounts...)}
 		go admin.Serve(ln)
 		defer admin.Close()
 		log.Info("admin endpoint up", "addr", ln.Addr().String(),
@@ -190,7 +187,7 @@ func run() error {
 		log.Info("peered", "icp", parts[0], "http", parts[1])
 	}
 	if *healthSec > 0 {
-		stop := p.StartHealthChecks(core.HealthConfig{Interval: *healthSec})
+		stop := p.StartHealthChecks(sc.HealthConfig{Interval: *healthSec})
 		defer stop()
 	}
 

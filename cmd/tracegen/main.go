@@ -13,8 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"summarycache/internal/trace"
-	"summarycache/internal/tracegen"
+	sc "summarycache"
 )
 
 var (
@@ -44,24 +43,24 @@ func main() {
 }
 
 func run() error {
-	var reqs []trace.Request
+	var reqs []sc.TraceRequest
 	var name string
 	var err error
 	if *preset != "" {
-		var cfg tracegen.Config
-		reqs, cfg, err = tracegen.GeneratePreset(tracegen.Preset(*preset), *scale)
+		var cfg sc.TraceGenConfig
+		reqs, cfg, err = sc.GeneratePreset(sc.TracePreset(*preset), *scale)
 		if err != nil {
 			return err
 		}
 		name = cfg.Name
 	} else {
-		cfg := tracegen.Config{
+		cfg := sc.TraceGenConfig{
 			Name: "custom", Seed: *seed,
 			Requests: *requests, Clients: *clients, Groups: *groups,
 			Docs: *docs, ZipfAlpha: *zipf,
 			SharedFraction: *shared, LocalityProb: *locality, ModifyRate: *modify,
 		}
-		reqs, err = tracegen.Generate(cfg)
+		reqs, err = sc.GenerateTrace(cfg)
 		if err != nil {
 			return err
 		}
@@ -79,7 +78,7 @@ func run() error {
 	}
 	switch *format {
 	case "text":
-		w := trace.NewWriter(dst)
+		w := sc.NewTraceWriter(dst)
 		for _, r := range reqs {
 			if err := w.Write(r); err != nil {
 				return err
@@ -89,7 +88,7 @@ func run() error {
 			return err
 		}
 	case "binary":
-		w := trace.NewBinaryWriter(dst)
+		w := sc.NewTraceBinaryWriter(dst)
 		for _, r := range reqs {
 			if err := w.Write(r); err != nil {
 				return err
@@ -102,7 +101,7 @@ func run() error {
 		return fmt.Errorf("unknown -format %q", *format)
 	}
 	if *doStats {
-		fmt.Fprintln(os.Stderr, trace.ComputeStats(name, reqs))
+		fmt.Fprintln(os.Stderr, sc.ComputeTraceStats(name, reqs))
 	}
 	return nil
 }

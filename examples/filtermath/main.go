@@ -8,8 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"summarycache/internal/bloom"
-	"summarycache/internal/hashing"
+	sc "summarycache"
 )
 
 func main() {
@@ -19,25 +18,25 @@ func main() {
 	const n = 1 << 16
 	for _, r := range []float64{2, 4, 6, 8, 10, 12, 16, 20, 24, 32} {
 		m := uint64(r * n)
-		kOpt := bloom.OptimalK(m, n)
+		kOpt := sc.OptimalK(m, n)
 		fmt.Printf("%-12g %-12.2e k=%-11d %-10.2e %-12.2e\n",
 			r,
-			bloom.FalsePositiveRate(m, n, 4),
+			sc.FalsePositiveRate(m, n, 4),
 			kOpt,
-			bloom.MinFalsePositiveRate(m, n),
-			bloom.PowerBound(r),
+			sc.MinFalsePositiveRate(m, n),
+			sc.PowerBound(r),
 		)
 	}
 
 	fmt.Println("\n§V-C worked example (\"bit array 10 times larger than the entries\"):")
 	fmt.Printf("  k=4: %.4f (paper: 1.2%%)   k=5 (optimal): %.4f (paper: 0.9%%)\n",
-		bloom.FalsePositiveRateApprox(10*n, n, 4),
-		bloom.FalsePositiveRateApprox(10*n, n, 5))
+		sc.FalsePositiveRateApprox(10*n, n, 4),
+		sc.FalsePositiveRateApprox(10*n, n, 5))
 
 	fmt.Println("\nMonte-Carlo validation against the real filter (lf=8, k=4):")
 	rng := rand.New(rand.NewSource(1))
 	const members = 50_000
-	f := bloom.MustNewFilter(8*members, hashing.DefaultSpec)
+	f := sc.MustNewFilter(8*members, sc.DefaultHashSpec)
 	for i := 0; i < members; i++ {
 		f.Add(fmt.Sprintf("http://site%d.net/page%d", rng.Intn(5000), i))
 	}
@@ -49,7 +48,7 @@ func main() {
 	}
 	fmt.Printf("  empirical: %.4f   analytic: %.4f   fill ratio: %.3f\n",
 		float64(fps)/float64(trials),
-		bloom.FalsePositiveRate(8*members, members, 4),
+		sc.FalsePositiveRate(8*members, members, 4),
 		f.FillRatio())
 
 	fmt.Println("\ncounting-filter overflow (why 4-bit counters suffice, §V-C):")
@@ -57,8 +56,8 @@ func main() {
 	for _, bits := range []int{2, 3, 4, 5} {
 		j := 1 << bits
 		fmt.Printf("%-14d %.3g\n", bits,
-			bloom.CounterOverflowProbability(16*(1<<20), 1<<20, 4, j))
+			sc.CounterOverflowProbability(16*(1<<20), 1<<20, 4, j))
 	}
 	fmt.Println("\nexpected maximum counter at the paper's configuration (lf=16, k=4):",
-		bloom.ExpectedMaxCount(16*(1<<20), 1<<20, 4))
+		sc.ExpectedMaxCount(16*(1<<20), 1<<20, 4))
 }

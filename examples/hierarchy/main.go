@@ -11,14 +11,12 @@ import (
 	"net/url"
 	"time"
 
-	"summarycache/internal/core"
-	"summarycache/internal/httpproxy"
-	"summarycache/internal/origin"
+	sc "summarycache"
 )
 
 func main() {
 	// What would the paper configure for an 8 GB proxy? (§V-E/§V-F.)
-	rec, err := core.Recommend(8<<30, 8192, 100, 0.5)
+	rec, err := sc.Recommend(8<<30, 8192, 100, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,14 +24,14 @@ func main() {
 	fmt.Println(" ", rec)
 	fmt.Println()
 
-	org, err := origin.Start(origin.Config{Latency: 80 * time.Millisecond})
+	org, err := sc.StartOrigin(sc.OriginConfig{Latency: 80 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer org.Close()
 
-	parent, err := httpproxy.Start(httpproxy.Config{
-		Mode: httpproxy.ModeNone, CacheBytes: 128 << 20,
+	parent, err := sc.StartProxy(sc.ProxyConfig{
+		Mode: sc.ProxyModeNone, CacheBytes: 128 << 20,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -41,12 +39,12 @@ func main() {
 	defer parent.Close()
 	fmt.Println("parent proxy:", parent.URL())
 
-	var children []*httpproxy.Proxy
+	var children []*sc.Proxy
 	for i := 0; i < 2; i++ {
-		c, err := httpproxy.Start(httpproxy.Config{
-			Mode:       httpproxy.ModeSCICP,
+		c, err := sc.StartProxy(sc.ProxyConfig{
+			Mode:       sc.ProxyModeSCICP,
 			CacheBytes: 32 << 20,
-			Summary:    core.DirectoryConfig{ExpectedDocs: 4000, UpdateThreshold: 0.01},
+			Summary:    sc.DirectoryConfig{ExpectedDocs: 4000, UpdateThreshold: 0.01},
 			ParentURL:  parent.URL(),
 		})
 		if err != nil {
@@ -66,9 +64,9 @@ func main() {
 		}
 	}
 
-	get := func(p *httpproxy.Proxy, target string) time.Duration {
+	get := func(p *sc.Proxy, target string) time.Duration {
 		start := time.Now()
-		resp, err := http.Get(p.URL() + httpproxy.ProxyPath + "?url=" + url.QueryEscape(target))
+		resp, err := http.Get(p.URL() + sc.ProxyPath + "?url=" + url.QueryEscape(target))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,8 +75,8 @@ func main() {
 		return time.Since(start)
 	}
 
-	docA := origin.DocURL(org.URL(), "dept-a/handbook.html", 30000, 0)
-	docB := origin.DocURL(org.URL(), "dept-b/schedule.html", 12000, 0)
+	docA := sc.DocURL(org.URL(), "dept-a/handbook.html", 30000, 0)
+	docB := sc.DocURL(org.URL(), "dept-b/schedule.html", 12000, 0)
 
 	fmt.Println("\n1. child 0 fetches doc A: miss everywhere → parent → origin:")
 	fmt.Printf("   %v (pays origin latency once; parent now caches A)\n",

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"container/list"
+	"sync"
+
+	"summarycache/internal/hashing"
+)
+
+// This file freezes the seed's single-lock designs — one mutex around the
+// whole LRU cache, one RWMutex around the Bloom bit array — as reference
+// implementations, so the concurrent-load microbenchmarks (RunMicro) can
+// report before/after numbers from one binary instead of checking out an
+// old commit. They are deliberately minimal: just the operations the
+// benchmarks drive, with the same data structures the seed used.
+
+// mutexCache is the pre-sharding LRU: a single mutex serializing every
+// Get and Put across all cores.
+type mutexCache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	// The seed counted hits and misses under the same mutex.
+	hits, misses uint64
+}
+
+type mutexEntry struct {
+	key  string
+	size int64
+}
+
+func newMutexCache(capacity int64) *mutexCache {
+	return &mutexCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *mutexCache) Get(key string) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*mutexEntry).size, true
+}
+
+func (c *mutexCache) Put(key string, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*mutexEntry)
+		c.bytes += size - ent.size
+		ent.size = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&mutexEntry{key: key, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		ent := back.Value.(*mutexEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
+	}
+}
+
+// rwmutexFilter is the pre-PR Bloom filter: plain uint64 words guarded by
+// an RWMutex, so every probe pays a contended RLock.
+type rwmutexFilter struct {
+	mu      sync.RWMutex
+	m       uint64
+	words   []uint64
+	family  *hashing.Family
+	scratch sync.Pool
+}
+
+func newRWMutexFilter(m uint64, spec hashing.Spec) *rwmutexFilter {
+	f := &rwmutexFilter{m: m, words: make([]uint64, (m+63)/64), family: hashing.MustNew(spec)}
+	k := spec.FunctionNum
+	f.scratch = sync.Pool{New: func() any { b := make([]uint64, k); return &b }}
+	return f
+}
+
+func (f *rwmutexFilter) Indexes(key string) []uint64 {
+	idx, err := f.family.Indexes(make([]uint64, 0, f.family.Spec().FunctionNum), key, f.m)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+func (f *rwmutexFilter) Add(key string) {
+	bufp := f.scratch.Get().(*[]uint64)
+	n, err := f.family.IndexesInto(*bufp, key, f.m)
+	if err != nil {
+		panic(err)
+	}
+	f.mu.Lock()
+	for _, i := range (*bufp)[:n] {
+		f.words[i/64] |= 1 << (i % 64)
+	}
+	f.mu.Unlock()
+	f.scratch.Put(bufp)
+}
+
+func (f *rwmutexFilter) Test(key string) bool {
+	bufp := f.scratch.Get().(*[]uint64)
+	n, err := f.family.IndexesInto(*bufp, key, f.m)
+	if err != nil {
+		panic(err)
+	}
+	ok := f.TestIndexes((*bufp)[:n])
+	f.scratch.Put(bufp)
+	return ok
+}
+
+func (f *rwmutexFilter) TestIndexes(idx []uint64) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, i := range idx {
+		if f.words[i/64]&(1<<(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

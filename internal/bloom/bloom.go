@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"summarycache/internal/hashing"
 )
@@ -48,13 +49,20 @@ var (
 // Filter is a plain Bloom filter over string keys. It is what a proxy keeps
 // per neighbor: a bit array plus the hash-function specification announced
 // in the neighbor's update messages. Filter is safe for concurrent use.
+//
+// The bit array is a slice of atomic 64-bit words: membership probes (Test,
+// TestIndexes) are plain atomic loads and never take a lock, so the peer
+// summary probes on every request's hot path scale with cores. Writers
+// (Apply, SetBit, ClearBit, Add) use per-word compare-and-swap; bulk
+// replacement (Reset, LoadSnapshot) swaps whole words while keeping the
+// population count exact via per-word deltas.
 type Filter struct {
-	mu      sync.RWMutex
 	m       uint64 // number of bits
-	words   []uint64
-	ones    uint64 // population count, maintained incrementally
+	words   []atomic.Uint64
+	ones    atomic.Int64 // population count, maintained incrementally
 	family  *hashing.Family
-	scratch sync.Pool // *[]uint64 probe buffers
+	scratch sync.Pool  // *[]uint64 probe buffers
+	bulkMu  sync.Mutex // serializes bulk replacements against each other
 }
 
 // NewFilter creates a filter of mBits bits probed by the given hash spec.
@@ -68,7 +76,7 @@ func NewFilter(mBits uint64, spec hashing.Spec) (*Filter, error) {
 	}
 	f := &Filter{
 		m:      mBits,
-		words:  make([]uint64, (mBits+63)/64),
+		words:  make([]atomic.Uint64, (mBits+63)/64),
 		family: fam,
 	}
 	k := spec.FunctionNum
@@ -100,24 +108,20 @@ func (f *Filter) Add(key string) {
 	bufp := f.scratch.Get().(*[]uint64)
 	defer f.scratch.Put(bufp)
 	n, _ := f.family.IndexesInto(*bufp, key, f.m)
-	f.mu.Lock()
 	for _, i := range (*bufp)[:n] {
-		f.setLocked(i)
+		f.set(i)
 	}
-	f.mu.Unlock()
 }
 
 // Test reports whether key may be in the set. False positives occur with
 // the probability given by FalsePositiveRate; false negatives never occur
-// for keys that were added and not cleared.
+// for keys that were added and not cleared. Lock-free: k atomic word loads.
 func (f *Filter) Test(key string) bool {
 	bufp := f.scratch.Get().(*[]uint64)
 	defer f.scratch.Put(bufp)
 	n, _ := f.family.IndexesInto(*bufp, key, f.m)
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	for _, i := range (*bufp)[:n] {
-		if f.words[i>>6]&(1<<(i&63)) == 0 {
+		if f.words[i>>6].Load()&(1<<(i&63)) == 0 {
 			return false
 		}
 	}
@@ -135,36 +139,44 @@ func (f *Filter) Indexes(key string) []uint64 {
 
 // TestIndexes probes the filter with precomputed indices (from the same
 // hashing.Family and modulus). Callers probing many peer filters for one
-// URL hash once and reuse the indices across filters.
+// URL hash once and reuse the indices across filters. Lock-free.
 func (f *Filter) TestIndexes(idx []uint64) bool {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	for _, i := range idx {
-		if i >= f.m || f.words[i>>6]&(1<<(i&63)) == 0 {
+		if i >= f.m || f.words[i>>6].Load()&(1<<(i&63)) == 0 {
 			return false
 		}
 	}
 	return true
 }
 
-func (f *Filter) setLocked(i uint64) bool {
-	w, b := i>>6, uint64(1)<<(i&63)
-	if f.words[w]&b != 0 {
-		return false
+// set turns bit i on via CAS, reporting whether it changed.
+func (f *Filter) set(i uint64) bool {
+	w, b := &f.words[i>>6], uint64(1)<<(i&63)
+	for {
+		old := w.Load()
+		if old&b != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|b) {
+			f.ones.Add(1)
+			return true
+		}
 	}
-	f.words[w] |= b
-	f.ones++
-	return true
 }
 
-func (f *Filter) clearLocked(i uint64) bool {
-	w, b := i>>6, uint64(1)<<(i&63)
-	if f.words[w]&b == 0 {
-		return false
+// clear turns bit i off via CAS, reporting whether it changed.
+func (f *Filter) clear(i uint64) bool {
+	w, b := &f.words[i>>6], uint64(1)<<(i&63)
+	for {
+		old := w.Load()
+		if old&b == 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old&^b) {
+			f.ones.Add(-1)
+			return true
+		}
 	}
-	f.words[w] &^= b
-	f.ones--
-	return true
 }
 
 // SetBit sets bit i, reporting whether it changed. Used when applying a
@@ -173,9 +185,7 @@ func (f *Filter) SetBit(i uint64) (changed bool, err error) {
 	if i >= f.m {
 		return false, ErrIndexRange
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.setLocked(i), nil
+	return f.set(i), nil
 }
 
 // ClearBit clears bit i, reporting whether it changed.
@@ -183,9 +193,7 @@ func (f *Filter) ClearBit(i uint64) (changed bool, err error) {
 	if i >= f.m {
 		return false, ErrIndexRange
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.clearLocked(i), nil
+	return f.clear(i), nil
 }
 
 // Apply applies a batch of flips (a decoded directory-update message).
@@ -193,17 +201,15 @@ func (f *Filter) ClearBit(i uint64) (changed bool, err error) {
 // message never corrupts the filter beyond the bits that message carried —
 // the paper's rationale for not sending relative toggles.
 func (f *Filter) Apply(flips []Flip) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	for _, fl := range flips {
 		i := uint64(fl.Index)
 		if i >= f.m {
 			return fmt.Errorf("%w: %d >= %d", ErrIndexRange, i, f.m)
 		}
 		if fl.Set {
-			f.setLocked(i)
+			f.set(i)
 		} else {
-			f.clearLocked(i)
+			f.clear(i)
 		}
 	}
 	return nil
@@ -211,37 +217,47 @@ func (f *Filter) Apply(flips []Flip) error {
 
 // OnesCount returns the number of set bits.
 func (f *Filter) OnesCount() uint64 {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.ones
+	n := f.ones.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
 }
 
 // FillRatio returns the fraction of set bits, the quantity that determines
 // the instantaneous false-positive probability (fill^k).
 func (f *Filter) FillRatio() float64 {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return float64(f.ones) / float64(f.m)
+	return float64(f.OnesCount()) / float64(f.m)
+}
+
+// replaceWords swaps new contents into the bit array word by word, keeping
+// the population count exact under concurrent CAS writers: each word's
+// delta is the popcount difference between what was swapped out and what
+// was swapped in. newWord receives the word index.
+func (f *Filter) replaceWords(newWord func(int) uint64) {
+	f.bulkMu.Lock()
+	defer f.bulkMu.Unlock()
+	var delta int64
+	for i := range f.words {
+		w := newWord(i)
+		old := f.words[i].Swap(w)
+		delta += int64(bits.OnesCount64(w)) - int64(bits.OnesCount64(old))
+	}
+	f.ones.Add(delta)
 }
 
 // Reset clears every bit.
 func (f *Filter) Reset() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for i := range f.words {
-		f.words[i] = 0
-	}
-	f.ones = 0
+	f.replaceWords(func(int) uint64 { return 0 })
 }
 
 // Snapshot returns the bit array as bytes (little-endian words, trailing
 // bits zero). This is what a proxy ships when sending the whole array is
 // cheaper than sending deltas (the Squid "cache digest" variant).
 func (f *Filter) Snapshot() []byte {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	out := make([]byte, len(f.words)*8)
-	for i, w := range f.words {
+	for i := range f.words {
+		w := f.words[i].Load()
 		for j := 0; j < 8; j++ {
 			out[i*8+j] = byte(w >> (8 * j))
 		}
@@ -255,10 +271,7 @@ func (f *Filter) LoadSnapshot(b []byte) error {
 	if uint64(len(b)) != (f.m+7)/8 {
 		return fmt.Errorf("%w: snapshot %d bytes, want %d", ErrSpecMismatch, len(b), (f.m+7)/8)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var ones uint64
-	for i := range f.words {
+	f.replaceWords(func(i int) uint64 {
 		var w uint64
 		for j := 0; j < 8; j++ {
 			idx := i*8 + j
@@ -266,19 +279,20 @@ func (f *Filter) LoadSnapshot(b []byte) error {
 				w |= uint64(b[idx]) << (8 * j)
 			}
 		}
-		f.words[i] = w
-		ones += uint64(bits.OnesCount64(w))
-	}
-	f.ones = ones
+		return w
+	})
 	return nil
 }
 
 // Clone returns a deep copy.
 func (f *Filter) Clone() *Filter {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	g := MustNewFilter(f.m, f.family.Spec())
-	copy(g.words, f.words)
-	g.ones = f.ones
+	var ones int64
+	for i := range f.words {
+		w := f.words[i].Load()
+		g.words[i].Store(w)
+		ones += int64(bits.OnesCount64(w))
+	}
+	g.ones.Store(ones)
 	return g
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"summarycache/internal/hashing"
 )
@@ -14,6 +15,13 @@ const DefaultCounterBits = 4
 
 // ErrBadCounterBits reports an unsupported counter width.
 var ErrBadCounterBits = errors.New("bloom: counter width must be in [1,16] bits")
+
+// maxStripes bounds the counter-lock striping (power of two). Stripes are
+// keyed by counter-word index, so two updates contend only when their
+// counters share a word whose stripe is also claimed by the other — with 64
+// stripes the collision probability under a handful of writer threads is
+// a few percent.
+const maxStripes = 64
 
 // CountingFilter is the paper's counting Bloom filter: alongside each bit
 // of the array it keeps a small saturating counter of how many inserted
@@ -26,18 +34,39 @@ var ErrBadCounterBits = errors.New("bloom: counter width must be in [1,16] bits"
 // 15"), trading a vanishing false-negative probability — bounded by
 // CounterOverflowProbability — for fixed memory. CountingFilter is safe for
 // concurrent use.
+//
+// Concurrency: counters live in atomic words read lock-free by Test; writes
+// stripe-lock by word index, so Add and Remove on different regions of the
+// array proceed in parallel. When journaling is enabled (EnableJournal),
+// each bit transition is appended to its stripe's journal segment under the
+// same stripe lock that performed the transition — flips for one bit are
+// therefore always journaled in their true temporal order (set-then-clear
+// can never be drained as clear-then-set), while flips for different bits
+// commute because the wire format is absolute.
 type CountingFilter struct {
-	mu          sync.Mutex
-	m           uint64
-	cbits       uint   // counter width in bits
-	cmax        uint64 // saturation value (2^cbits - 1)
-	counters    []uint64
-	perWord     uint // counters packed per 64-bit word
-	ones        uint64
-	n           uint64 // net insertions (adds - removes), for load accounting
-	family      *hashing.Family
-	scratch     []uint64
-	saturations uint64 // counters that ever hit cmax
+	m        uint64
+	cbits    uint   // counter width in bits
+	cmax     uint64 // saturation value (2^cbits - 1)
+	counters []atomic.Uint64
+	perWord  uint // counters packed per 64-bit word
+	smask    uint64
+	stripes  []cfStripe
+	ones     atomic.Int64
+	n        atomic.Int64 // net insertions (adds - removes), for load accounting
+	family   *hashing.Family
+	scratch  sync.Pool // *[]uint64 probe buffers
+
+	saturations atomic.Uint64 // counters that ever hit cmax
+
+	journaling bool         // set once by EnableJournal before concurrent use
+	pending    atomic.Int64 // total flips across stripe journals
+}
+
+// cfStripe is one lock stripe plus its segment of the flip journal.
+type cfStripe struct {
+	mu      sync.Mutex
+	journal []Flip
+	_       [40]byte // pad toward a cache line to curb false sharing
 }
 
 // NewCountingFilter creates a counting filter of mBits positions with
@@ -55,15 +84,26 @@ func NewCountingFilter(mBits uint64, counterBits uint, spec hashing.Spec) (*Coun
 	}
 	perWord := uint(64 / counterBits)
 	words := (mBits + uint64(perWord) - 1) / uint64(perWord)
-	return &CountingFilter{
+	stripes := maxStripes
+	for uint64(stripes) > words {
+		stripes >>= 1
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	c := &CountingFilter{
 		m:        mBits,
 		cbits:    counterBits,
 		cmax:     (uint64(1) << counterBits) - 1,
-		counters: make([]uint64, words),
+		counters: make([]atomic.Uint64, words),
 		perWord:  perWord,
+		smask:    uint64(stripes - 1),
+		stripes:  make([]cfStripe, stripes),
 		family:   fam,
-		scratch:  make([]uint64, spec.FunctionNum),
-	}, nil
+	}
+	k := spec.FunctionNum
+	c.scratch.New = func() any { b := make([]uint64, k); return &b }
+	return c, nil
 }
 
 // MustNewCountingFilter is NewCountingFilter, panicking on error.
@@ -89,39 +129,96 @@ func (c *CountingFilter) Spec() hashing.Spec { return c.family.Spec() }
 // extrapolation.
 func (c *CountingFilter) MemoryBytes() uint64 { return uint64(len(c.counters)) * 8 }
 
-func (c *CountingFilter) get(i uint64) uint64 {
-	w := i / uint64(c.perWord)
-	sh := (i % uint64(c.perWord)) * uint64(c.cbits)
-	return (c.counters[w] >> sh) & c.cmax
+// word and shift locate counter i inside the packed array.
+func (c *CountingFilter) locate(i uint64) (w uint64, sh uint64) {
+	return i / uint64(c.perWord), (i % uint64(c.perWord)) * uint64(c.cbits)
 }
 
-func (c *CountingFilter) set(i, v uint64) {
-	w := i / uint64(c.perWord)
-	sh := (i % uint64(c.perWord)) * uint64(c.cbits)
-	c.counters[w] = c.counters[w]&^(c.cmax<<sh) | v<<sh
+// get reads counter i with one atomic load (no lock).
+func (c *CountingFilter) get(i uint64) uint64 {
+	w, sh := c.locate(i)
+	return (c.counters[w].Load() >> sh) & c.cmax
+}
+
+// setLocked writes counter i; the caller holds i's stripe lock, which
+// exclusively owns every counter in i's word.
+func (c *CountingFilter) setLocked(i, v uint64) {
+	w, sh := c.locate(i)
+	c.counters[w].Store(c.counters[w].Load()&^(c.cmax<<sh) | v<<sh)
+}
+
+// stripeOf returns the lock stripe owning counter i's word.
+func (c *CountingFilter) stripeOf(i uint64) *cfStripe {
+	w, _ := c.locate(i)
+	return &c.stripes[w&c.smask]
+}
+
+// EnableJournal turns on internal flip journaling: every subsequent bit
+// transition is recorded (in per-bit temporal order) for DrainJournal.
+// Call once, before the filter is shared between goroutines.
+func (c *CountingFilter) EnableJournal() { c.journaling = true }
+
+// PendingFlips returns the number of journaled flips not yet drained.
+func (c *CountingFilter) PendingFlips() int {
+	n := c.pending.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// DrainJournal removes and returns all journaled flips. Flips touching the
+// same bit appear in their true temporal order; flips for different bits
+// are in no particular order (they commute — the wire format is absolute).
+func (c *CountingFilter) DrainJournal() []Flip {
+	var out []Flip
+	for s := range c.stripes {
+		st := &c.stripes[s]
+		st.mu.Lock()
+		if len(st.journal) > 0 {
+			out = append(out, st.journal...)
+			c.pending.Add(-int64(len(st.journal)))
+			st.journal = nil
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// journalLocked records one transition under its stripe's lock.
+func (st *cfStripe) journalLocked(c *CountingFilter, fl Flip) {
+	st.journal = append(st.journal, fl)
+	c.pending.Add(1)
 }
 
 // Add inserts key, incrementing its k counters. Bit transitions 0→1 are
 // appended to flips, which is returned (append semantics; pass nil to
 // discard-later or a reused buffer to avoid allocation).
 func (c *CountingFilter) Add(key string, flips []Flip) []Flip {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n, _ := c.family.IndexesInto(c.scratch, key, c.m)
-	for _, i := range c.scratch[:n] {
+	bufp := c.scratch.Get().(*[]uint64)
+	defer c.scratch.Put(bufp)
+	n, _ := c.family.IndexesInto(*bufp, key, c.m)
+	for _, i := range (*bufp)[:n] {
+		st := c.stripeOf(i)
+		st.mu.Lock()
 		v := c.get(i)
 		switch {
 		case v == c.cmax:
-			c.saturations++ // stuck; stays at cmax
+			c.saturations.Add(1) // stuck; stays at cmax
 		case v == 0:
-			c.set(i, 1)
-			c.ones++
-			flips = append(flips, Flip{Index: uint32(i), Set: true})
+			c.setLocked(i, 1)
+			c.ones.Add(1)
+			fl := Flip{Index: uint32(i), Set: true}
+			flips = append(flips, fl)
+			if c.journaling {
+				st.journalLocked(c, fl)
+			}
 		default:
-			c.set(i, v+1)
+			c.setLocked(i, v+1)
 		}
+		st.mu.Unlock()
 	}
-	c.n++
+	c.n.Add(1)
 	return flips
 }
 
@@ -130,36 +227,47 @@ func (c *CountingFilter) Add(key string, flips []Flip) []Flip {
 // filter, exactly as with any counting Bloom filter; callers (the cache)
 // guarantee delete-after-insert discipline.
 func (c *CountingFilter) Remove(key string, flips []Flip) []Flip {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n, _ := c.family.IndexesInto(c.scratch, key, c.m)
-	for _, i := range c.scratch[:n] {
+	bufp := c.scratch.Get().(*[]uint64)
+	defer c.scratch.Put(bufp)
+	n, _ := c.family.IndexesInto(*bufp, key, c.m)
+	for _, i := range (*bufp)[:n] {
+		st := c.stripeOf(i)
+		st.mu.Lock()
 		v := c.get(i)
 		switch {
 		case v == c.cmax:
 			// Saturated counters are never decremented; see type docs.
 		case v == 1:
-			c.set(i, 0)
-			c.ones--
-			flips = append(flips, Flip{Index: uint32(i), Set: false})
+			c.setLocked(i, 0)
+			c.ones.Add(-1)
+			fl := Flip{Index: uint32(i), Set: false}
+			flips = append(flips, fl)
+			if c.journaling {
+				st.journalLocked(c, fl)
+			}
 		case v > 1:
-			c.set(i, v-1)
+			c.setLocked(i, v-1)
 		default:
 			// v == 0: underflow attempt; leave at zero.
 		}
+		st.mu.Unlock()
 	}
-	if c.n > 0 {
-		c.n--
+	for {
+		cur := c.n.Load()
+		if cur <= 0 || c.n.CompareAndSwap(cur, cur-1) {
+			break
+		}
 	}
 	return flips
 }
 
 // Test reports whether key may be in the set (all k counters nonzero).
+// Lock-free: k atomic loads.
 func (c *CountingFilter) Test(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n, _ := c.family.IndexesInto(c.scratch, key, c.m)
-	for _, i := range c.scratch[:n] {
+	bufp := c.scratch.Get().(*[]uint64)
+	defer c.scratch.Put(bufp)
+	n, _ := c.family.IndexesInto(*bufp, key, c.m)
+	for _, i := range (*bufp)[:n] {
 		if c.get(i) == 0 {
 			return false
 		}
@@ -172,71 +280,75 @@ func (c *CountingFilter) Count(i uint64) (uint64, error) {
 	if i >= c.m {
 		return 0, ErrIndexRange
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.get(i), nil
 }
 
 // Entries returns the net number of keys currently represented.
 func (c *CountingFilter) Entries() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+	n := c.n.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
 }
 
 // OnesCount returns the number of nonzero positions (set bits in the
 // derived bit filter).
 func (c *CountingFilter) OnesCount() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ones
+	n := c.ones.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
 }
 
 // FillRatio returns the fraction of nonzero positions.
 func (c *CountingFilter) FillRatio() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return float64(c.ones) / float64(c.m)
+	return float64(c.OnesCount()) / float64(c.m)
 }
 
 // Saturations returns how many increment attempts found an already-saturated
 // counter — a direct observable for the §V-C overflow analysis.
-func (c *CountingFilter) Saturations() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.saturations
-}
+func (c *CountingFilter) Saturations() uint64 { return c.saturations.Load() }
 
 // BitFilter materializes the derived plain filter (bit i set iff counter i
 // nonzero). This is the array a proxy ships to a new neighbor before delta
-// updates begin.
+// updates begin. Under concurrent writers the result is a weakly consistent
+// snapshot; that is safe for the protocol because any transition racing the
+// scan is also journaled and will reach the peer as an absolute flip.
 func (c *CountingFilter) BitFilter() *Filter {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	f := MustNewFilter(c.m, c.family.Spec())
 	for i := uint64(0); i < c.m; i++ {
 		if c.get(i) != 0 {
-			f.setLocked(i)
+			f.set(i)
 		}
 	}
 	return f
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters and discards any journaled flips.
 func (c *CountingFilter) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range c.counters {
-		c.counters[i] = 0
+	for s := range c.stripes {
+		c.stripes[s].mu.Lock()
 	}
-	c.ones, c.n, c.saturations = 0, 0, 0
+	for i := range c.counters {
+		c.counters[i].Store(0)
+	}
+	for s := range c.stripes {
+		c.pending.Add(-int64(len(c.stripes[s].journal)))
+		c.stripes[s].journal = nil
+	}
+	c.ones.Store(0)
+	c.n.Store(0)
+	c.saturations.Store(0)
+	for s := len(c.stripes) - 1; s >= 0; s-- {
+		c.stripes[s].mu.Unlock()
+	}
 }
 
 // MaxCount returns the largest counter value currently stored. Exposed so
 // tests can check the §V-C expected-maximum-count analysis empirically.
 func (c *CountingFilter) MaxCount() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var max uint64
 	for i := uint64(0); i < c.m; i++ {
 		if v := c.get(i); v > max {

@@ -11,7 +11,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"summarycache/internal/bloom"
 	"summarycache/internal/hashing"
@@ -52,15 +52,19 @@ func (c *DirectoryConfig) applyDefaults() {
 // Directory is a proxy's summary of its own cache: the authoritative
 // counting filter, plus the journal of bit flips not yet published to
 // peers. It is safe for concurrent use.
+//
+// There is no directory-wide mutex: Insert and Remove ride the counting
+// filter's striped word locks (which also order the flip journal per bit),
+// Contains is a lock-free probe, and the document counters driving the
+// publication threshold are atomics. Concurrent inserts through a loaded
+// proxy therefore never serialize on one lock.
 type Directory struct {
-	mu        sync.Mutex
 	counting  *bloom.CountingFilter
-	journal   []bloom.Flip
 	spec      hashing.Spec
 	bits      uint64
 	threshold float64
-	docs      int // current directory size in documents
-	newDocs   int // documents added since the last Drain
+	docs      atomic.Int64 // current directory size in documents
+	newDocs   atomic.Int64 // documents added since the last Drain
 }
 
 // NewDirectory builds a directory summary.
@@ -74,6 +78,7 @@ func NewDirectory(cfg DirectoryConfig) (*Directory, error) {
 	if err != nil {
 		return nil, err
 	}
+	cf.EnableJournal()
 	return &Directory{
 		counting:  cf,
 		spec:      cfg.HashSpec,
@@ -90,36 +95,35 @@ func (d *Directory) Bits() uint64 { return d.bits }
 
 // Docs returns the number of documents currently summarized.
 func (d *Directory) Docs() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.docs
+	n := d.docs.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }
 
 // Insert records a document entering the cache.
 func (d *Directory) Insert(url string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.journal = d.counting.Add(url, d.journal)
-	d.docs++
-	d.newDocs++
+	d.counting.Add(url, nil)
+	d.docs.Add(1)
+	d.newDocs.Add(1)
 }
 
 // Remove records a document leaving the cache.
 func (d *Directory) Remove(url string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.journal = d.counting.Remove(url, d.journal)
-	if d.docs > 0 {
-		d.docs--
+	d.counting.Remove(url, nil)
+	for {
+		cur := d.docs.Load()
+		if cur <= 0 || d.docs.CompareAndSwap(cur, cur-1) {
+			break
+		}
 	}
 }
 
 // Contains probes the live local summary (used to answer peer queries
 // cheaply is NOT its purpose — queries consult the real cache; this exists
-// for diagnostics and tests).
+// for diagnostics and tests). Lock-free.
 func (d *Directory) Contains(url string) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.counting.Test(url)
 }
 
@@ -127,33 +131,29 @@ func (d *Directory) Contains(url string) bool {
 // should be updated ("the update can occur ... when a certain percentage of
 // the cached documents are not reflected in the summary").
 func (d *Directory) ShouldPublish() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.newDocs == 0 && len(d.journal) == 0 {
+	pending := d.counting.PendingFlips()
+	newDocs := d.newDocs.Load()
+	if newDocs == 0 && pending == 0 {
 		return false
 	}
-	if d.docs == 0 {
-		return len(d.journal) > 0
+	docs := d.docs.Load()
+	if docs <= 0 {
+		return pending > 0
 	}
-	return float64(d.newDocs) >= d.threshold*float64(d.docs)
+	return float64(newDocs) >= d.threshold*float64(docs)
 }
 
 // PendingFlips returns the number of unpublished bit flips.
 func (d *Directory) PendingFlips() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.journal)
+	return d.counting.PendingFlips()
 }
 
 // Drain removes and returns the unpublished flip journal, resetting the
 // new-document counter. The caller ships the flips to peers (or discards
 // them for a peer that will receive a full snapshot instead).
 func (d *Directory) Drain() []bloom.Flip {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := d.journal
-	d.journal = nil
-	d.newDocs = 0
+	out := d.counting.DrainJournal()
+	d.newDocs.Store(0)
 	return out
 }
 
@@ -162,8 +162,6 @@ func (d *Directory) Drain() []bloom.Flip {
 // ("reinitializes a failed neighbor's bit array when it recovers"). The
 // journal is unaffected.
 func (d *Directory) SnapshotFlips() []bloom.Flip {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	f := d.counting.BitFilter()
 	var flips []bloom.Flip
 	snap := f.Snapshot()

@@ -66,6 +66,12 @@ type NodeConfig struct {
 	// messages"). Peers added with AddPeerTCP receive this node's updates
 	// over TCP; queries and replies stay on UDP.
 	TCPUpdateAddr string
+	// UpdateDialTimeout bounds dialing a TCP update peer (0: the ICP
+	// package's DefaultDialTimeout; negative: unbounded).
+	UpdateDialTimeout time.Duration
+	// UpdateWriteTimeout, when positive, puts a write deadline on every
+	// TCP update send so one stalled peer cannot wedge publication.
+	UpdateWriteTimeout time.Duration
 	// Metrics, when set, is the registry the node instruments itself
 	// against; series carry a node="<udp addr>" label so several nodes
 	// can share one registry. Nil: a private registry is created (the
@@ -327,7 +333,10 @@ func (n *Node) AddPeerTCP(udpAddr *net.UDPAddr, tcpAddr string) error {
 	n.peerAddrs[udpAddr.String()] = udpAddr
 	n.mu.Unlock()
 	n.tcpMu.Lock()
-	n.tcpPeers[udpAddr.String()] = icp.NewTCPClient(tcpAddr, 0)
+	n.tcpPeers[udpAddr.String()] = icp.NewTCPClientWithConfig(tcpAddr, icp.TCPClientConfig{
+		DialTimeout:  n.cfg.UpdateDialTimeout,
+		WriteTimeout: n.cfg.UpdateWriteTimeout,
+	})
 	n.tcpMu.Unlock()
 	n.health.SetPeer(udpAddr.String(), true)
 	return n.sendFullState(udpAddr)

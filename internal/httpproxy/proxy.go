@@ -79,6 +79,11 @@ type Config struct {
 	CacheBytes int64
 	// MaxObjectSize caps cacheable documents (0: the paper's 250 KB).
 	MaxObjectSize int64
+	// CacheShards sets the document cache's lock-stripe count (0: derived
+	// from GOMAXPROCS; see lru.Config.Shards). Sharding only engages when
+	// the capacity is large enough that every shard can hold a
+	// maximum-size object, so small test caches keep exact LRU order.
+	CacheShards int
 	// Summary configures the local directory summary (ModeSCICP).
 	Summary core.DirectoryConfig
 	// MinUpdateFlips forwards to core.NodeConfig.MinFlipsToPublish
@@ -234,7 +239,9 @@ func Start(cfg Config) (*Proxy, error) {
 			},
 		},
 	}
-	cache, err := lru.New(cfg.CacheBytes, lru.Config{
+	cache, err := lru.NewCache(lru.Config{
+		Capacity:      cfg.CacheBytes,
+		Shards:        cfg.CacheShards,
 		MaxObjectSize: cfg.MaxObjectSize,
 		OnInsert:      p.onInsert,
 		OnEvict:       p.onEvict,

@@ -2,6 +2,7 @@ package icp
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -152,11 +153,26 @@ func (s *TCPServer) serve(conn net.Conn) {
 	}
 }
 
+// DefaultDialTimeout bounds connection establishment to a peer's update
+// channel when TCPClientConfig leaves DialTimeout zero.
+const DefaultDialTimeout = 5 * time.Second
+
+// TCPClientConfig tunes a TCPClient's I/O deadlines.
+type TCPClientConfig struct {
+	// DialTimeout bounds connection establishment (DefaultDialTimeout
+	// when 0; negative disables the bound).
+	DialTimeout time.Duration
+	// WriteTimeout, when positive, sets a per-send write deadline so one
+	// stalled peer cannot wedge the publication loop indefinitely. 0: no
+	// deadline beyond any context the caller passes to SendContext.
+	WriteTimeout time.Duration
+}
+
 // TCPClient maintains one persistent connection to a peer's update
 // channel, reconnecting lazily after failures.
 type TCPClient struct {
-	addr    string
-	timeout time.Duration
+	addr string
+	cfg  TCPClientConfig
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -165,12 +181,19 @@ type TCPClient struct {
 }
 
 // NewTCPClient prepares a client for the peer's update address; the
-// connection is established on first Send.
+// connection is established on first Send. A dialTimeout ≤ 0 means
+// DefaultDialTimeout.
 func NewTCPClient(addr string, dialTimeout time.Duration) *TCPClient {
-	if dialTimeout <= 0 {
-		dialTimeout = 5 * time.Second
+	return NewTCPClientWithConfig(addr, TCPClientConfig{DialTimeout: dialTimeout})
+}
+
+// NewTCPClientWithConfig prepares a client with explicit deadlines; the
+// connection is established on first Send.
+func NewTCPClientWithConfig(addr string, cfg TCPClientConfig) *TCPClient {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
 	}
-	return &TCPClient{addr: addr, timeout: dialTimeout}
+	return &TCPClient{addr: addr, cfg: cfg}
 }
 
 // Addr returns the peer address.
@@ -189,11 +212,26 @@ func (c *TCPClient) Stats() Stats {
 // Send transmits one framed message, dialing or redialing as needed. One
 // retry covers a connection that went stale between sends.
 func (c *TCPClient) Send(m Message) error {
+	return c.SendContext(context.Background(), m)
+}
+
+// SendContext is Send honoring ctx: cancellation aborts between attempts,
+// and a ctx deadline tightens both the dial and the per-send write
+// deadline (alongside any configured WriteTimeout).
+func (c *TCPClient) SendContext(ctx context.Context, m Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			c.sendErrs.Add(1)
+			return fmt.Errorf("icp: send to %s: %w", c.addr, err)
+		}
 		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+			d := net.Dialer{}
+			if c.cfg.DialTimeout > 0 {
+				d.Timeout = c.cfg.DialTimeout
+			}
+			conn, err := d.DialContext(ctx, "tcp", c.addr)
 			if err != nil {
 				c.sendErrs.Add(1)
 				return fmt.Errorf("icp: dial %s: %w", c.addr, err)
@@ -203,20 +241,37 @@ func (c *TCPClient) Send(m Message) error {
 				c.reconnects.Add(1)
 			}
 		}
+		if deadline, ok := c.writeDeadline(ctx); ok {
+			c.conn.SetWriteDeadline(deadline)
+		}
 		n, err := WriteFrame(c.conn, m)
 		if err == nil {
+			c.conn.SetWriteDeadline(time.Time{})
 			c.sent.Add(1)
 			c.sentB.Add(uint64(n))
 			return nil
 		}
 		c.conn.Close()
 		c.conn = nil
-		if attempt == 1 {
+		if attempt == 1 || ctx.Err() != nil {
 			c.sendErrs.Add(1)
 			return fmt.Errorf("icp: send to %s: %w", c.addr, err)
 		}
 	}
 	return nil
+}
+
+// writeDeadline combines the configured WriteTimeout with ctx's deadline,
+// whichever is sooner.
+func (c *TCPClient) writeDeadline(ctx context.Context) (time.Time, bool) {
+	var t time.Time
+	if c.cfg.WriteTimeout > 0 {
+		t = time.Now().Add(c.cfg.WriteTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (t.IsZero() || d.Before(t)) {
+		t = d
+	}
+	return t, !t.IsZero()
 }
 
 // Close drops the connection.

@@ -1,0 +1,127 @@
+package icp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A canceled context must abort SendContext before any network I/O.
+func TestTCPClientSendContextCanceled(t *testing.T) {
+	c := NewTCPClient("127.0.0.1:1", 0) // nothing listens; must not matter
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.SendContext(ctx, NewQuery(1, "http://x/"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Stats().SendErrors != 1 {
+		t.Fatalf("send errors = %d, want 1", c.Stats().SendErrors)
+	}
+}
+
+// Config plumbing: the zero dial timeout falls back to the default; explicit
+// values pass through.
+func TestTCPClientConfigDefaults(t *testing.T) {
+	if c := NewTCPClient("x:1", 0); c.cfg.DialTimeout != DefaultDialTimeout {
+		t.Fatalf("dial timeout = %v, want default %v", c.cfg.DialTimeout, DefaultDialTimeout)
+	}
+	if c := NewTCPClient("x:1", 2*time.Second); c.cfg.DialTimeout != 2*time.Second {
+		t.Fatalf("positional dial timeout not honored: %v", c.cfg.DialTimeout)
+	}
+	c := NewTCPClientWithConfig("x:1", TCPClientConfig{DialTimeout: -1, WriteTimeout: time.Second})
+	if c.cfg.DialTimeout != -1 || c.cfg.WriteTimeout != time.Second {
+		t.Fatalf("explicit config not honored: %+v", c.cfg)
+	}
+}
+
+// writeDeadline must pick the sooner of WriteTimeout and the context's
+// deadline.
+func TestTCPClientWriteDeadlineSelection(t *testing.T) {
+	bg := context.Background()
+	if _, ok := NewTCPClientWithConfig("x:1", TCPClientConfig{}).writeDeadline(bg); ok {
+		t.Fatal("deadline reported with neither timeout nor context deadline")
+	}
+	c := NewTCPClientWithConfig("x:1", TCPClientConfig{WriteTimeout: time.Minute})
+	d1, ok := c.writeDeadline(bg)
+	if !ok || time.Until(d1) > time.Minute || time.Until(d1) < 50*time.Second {
+		t.Fatalf("WriteTimeout deadline wrong: %v ok=%v", d1, ok)
+	}
+	ctx, cancel := context.WithTimeout(bg, time.Second)
+	defer cancel()
+	d2, ok := c.writeDeadline(ctx)
+	if !ok || !d2.Before(d1) {
+		t.Fatalf("context deadline (sooner) not preferred: %v vs %v", d2, d1)
+	}
+	far, cancelFar := context.WithTimeout(bg, time.Hour)
+	defer cancelFar()
+	d3, ok := c.writeDeadline(far)
+	if !ok || d3.After(d1.Add(time.Minute)) {
+		t.Fatalf("WriteTimeout (sooner) not preferred: %v", d3)
+	}
+}
+
+// An already-expired write deadline must fail the send on both attempts —
+// proof the per-send deadline is actually armed on the connection.
+func TestTCPClientWriteTimeoutEnforced(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewTCPClientWithConfig(srv.Addr().String(), TCPClientConfig{
+		DialTimeout:  time.Second,
+		WriteTimeout: time.Nanosecond, // expired by the time Write runs
+	})
+	defer c.Close()
+	err = c.Send(NewQuery(1, "http://x/"))
+	if err == nil {
+		t.Fatal("send with expired write deadline succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		if !strings.Contains(err.Error(), "timeout") {
+			t.Fatalf("err = %v, want a write timeout", err)
+		}
+	}
+}
+
+// A sane WriteTimeout must not poison subsequent sends: the deadline is
+// re-armed per send and cleared after success.
+func TestTCPClientWriteTimeoutClearedBetweenSends(t *testing.T) {
+	got := make(chan Message, 4)
+	srv, err := ListenTCP("127.0.0.1:0", func(_ *net.UDPAddr, m Message) { got <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewTCPClientWithConfig(srv.Addr().String(), TCPClientConfig{
+		DialTimeout:  time.Second,
+		WriteTimeout: 2 * time.Second,
+	})
+	defer c.Close()
+	for i := uint32(1); i <= 3; i++ {
+		if err := c.SendContext(context.Background(), NewQuery(i, "http://x/")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := uint32(1); i <= 3; i++ {
+		select {
+		case m := <-got:
+			if m.ReqNum != i {
+				t.Fatalf("reqnum = %d, want %d", m.ReqNum, i)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("message %d never arrived", i)
+		}
+	}
+	if c.Stats().Sent != 3 || c.Stats().SendErrors != 0 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}

@@ -5,12 +5,25 @@
 // detection, an eviction callback that feeds cache-summary deltas, and a
 // Touch operation supporting the single-copy sharing scheme ("the other
 // proxy marks the document as most-recently-accessed").
+//
+// The cache is hash-striped into power-of-two shards (memcached-style
+// segmented LRU): each shard owns a slice of the byte budget and its own
+// recency list, so concurrent requests on different shards never contend.
+// Replacement is LRU within a shard — an approximation of global LRU whose
+// error vanishes as documents spread uniformly over shards. Shard count is
+// clamped so every cacheable document fits any single shard's budget;
+// small caches therefore degenerate to one shard and exact global LRU.
 package lru
 
 import (
 	"container/list"
 	"errors"
+	"hash/maphash"
+	"math/bits"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultMaxObjectSize is the paper's cacheability limit: 250 KB.
@@ -37,6 +50,14 @@ const (
 
 // Config customizes a Cache.
 type Config struct {
+	// Capacity is the cache's byte budget. NewCache requires it positive;
+	// the deprecated positional constructors fill it in.
+	Capacity int64
+	// Shards requests a stripe count (rounded up to a power of two;
+	// 0: derived from runtime.GOMAXPROCS). The effective count is clamped
+	// so every cacheable document fits one shard's budget — tiny caches
+	// always get exactly one shard and exact global LRU order.
+	Shards int
 	// MaxObjectSize rejects documents larger than this many bytes
 	// (DefaultMaxObjectSize when 0; negative disables the limit).
 	MaxObjectSize int64
@@ -52,51 +73,131 @@ type Config struct {
 // ErrBadCapacity reports a non-positive cache capacity.
 var ErrBadCapacity = errors.New("lru: capacity must be positive")
 
-// Cache is a byte-budget LRU cache of documents. It is safe for concurrent
-// use.
-type Cache struct {
+// node is a cached entry plus its global recency stamp. Stamps come from
+// one atomic clock shared by all shards, so merging shard lists by stamp
+// reconstructs a global most-recently-used order for Keys and Entries.
+type node struct {
+	e     Entry
+	stamp uint64
+}
+
+// shard is one stripe: a private byte budget, recency list and index, plus
+// its slice of the lifetime counters. The counters are plain integers
+// mutated under mu — the lock is already held on every path that touches
+// them, so they cost nothing on the hot path; Stats and Counters sum
+// across shards.
+type shard struct {
 	mu       sync.Mutex
 	capacity int64
-	maxObj   int64
 	bytes    int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
-	onInsert func(Entry)
-	onEvict  func(Entry, Event)
 
-	hits, misses uint64
-	// Lifetime departures by cause (Counters): LRU displacement, explicit
-	// removal, and version replacement — the staleness invalidations the
-	// paper counts as remote stale hits.
+	hits, misses                     uint64
 	evCapacity, evRemoved, evUpdated uint64
 }
 
-// New creates a cache holding at most capacity bytes.
-func New(capacity int64, cfg Config) (*Cache, error) {
-	if capacity <= 0 {
+// Cache is a byte-budget LRU cache of documents. It is safe for concurrent
+// use; operations on keys hashing to different shards proceed in parallel.
+type Cache struct {
+	capacity int64
+	maxObj   int64
+	shards   []shard
+	mask     uint64
+	seed     maphash.Seed
+	clock    atomic.Uint64 // recency stamps; see node
+	onInsert func(Entry)
+	onEvict  func(Entry, Event)
+}
+
+// shardCount resolves the effective stripe count: the requested (or
+// GOMAXPROCS-derived) count rounded up to a power of two, clamped down to
+// the largest power of two for which every shard's budget still holds the
+// largest cacheable document.
+func shardCount(requested int, capacity, effMaxObj int64) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	n = 1 << bits.Len(uint(n-1)) // round up to power of two (1 stays 1)
+	maxShards := 1
+	if effMaxObj > 0 {
+		if m := capacity / effMaxObj; m >= 1 {
+			maxShards = 1 << (bits.Len(uint(m)) - 1) // round down to power of two
+		}
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+}
+
+// NewCache creates a cache from cfg. Config.Capacity must be positive.
+func NewCache(cfg Config) (*Cache, error) {
+	if cfg.Capacity <= 0 {
 		return nil, ErrBadCapacity
 	}
 	maxObj := cfg.MaxObjectSize
 	if maxObj == 0 {
 		maxObj = DefaultMaxObjectSize
 	}
-	return &Cache{
-		capacity: capacity,
+	// The largest document Cacheable admits: bounded by capacity always,
+	// and by maxObj when the limit is enabled and tighter.
+	effMaxObj := cfg.Capacity
+	if maxObj > 0 && maxObj < effMaxObj {
+		effMaxObj = maxObj
+	}
+	n := shardCount(cfg.Shards, cfg.Capacity, effMaxObj)
+	c := &Cache{
+		capacity: cfg.Capacity,
 		maxObj:   maxObj,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
+		shards:   make([]shard, n),
+		mask:     uint64(n - 1),
+		seed:     maphash.MakeSeed(),
 		onInsert: cfg.OnInsert,
 		onEvict:  cfg.OnEvict,
-	}, nil
+	}
+	base, rem := cfg.Capacity/int64(n), cfg.Capacity%int64(n)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = base
+		if int64(i) < rem {
+			s.capacity++
+		}
+		s.ll = list.New()
+		s.items = make(map[string]*list.Element)
+	}
+	return c, nil
 }
 
-// MustNew is New, panicking on error.
-func MustNew(capacity int64, cfg Config) *Cache {
-	c, err := New(capacity, cfg)
+// MustNewCache is NewCache, panicking on error.
+func MustNewCache(cfg Config) *Cache {
+	c, err := NewCache(cfg)
 	if err != nil {
 		panic(err)
 	}
 	return c
+}
+
+// New creates a cache holding at most capacity bytes.
+//
+// Deprecated: use NewCache with Config.Capacity. New remains for callers
+// of the original positional signature; the positional capacity overrides
+// any Config.Capacity.
+func New(capacity int64, cfg Config) (*Cache, error) {
+	cfg.Capacity = capacity
+	return NewCache(cfg)
+}
+
+// MustNew is New, panicking on error.
+//
+// Deprecated: use MustNewCache with Config.Capacity.
+func MustNew(capacity int64, cfg Config) *Cache {
+	cfg.Capacity = capacity
+	return MustNewCache(cfg)
 }
 
 // Capacity returns the byte budget.
@@ -105,18 +206,46 @@ func (c *Cache) Capacity() int64 { return c.capacity }
 // MaxObjectSize returns the per-document cacheability limit (<0: none).
 func (c *Cache) MaxObjectSize() int64 { return c.maxObj }
 
+// Shards returns the effective stripe count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor maps a key to its stripe. maphash uses the hardware-accelerated
+// runtime string hash, so the lookup costs a few ns rather than a per-byte
+// FNV loop; a single-shard cache skips hashing entirely, keeping the
+// degenerate (exact global LRU) configuration as cheap as the pre-sharding
+// code.
+func (c *Cache) shardFor(key string) *shard {
+	if c.mask == 0 {
+		return &c.shards[0]
+	}
+	return &c.shards[maphash.String(c.seed, key)&c.mask]
+}
+
+// tick advances the recency clock.
+func (c *Cache) tick() uint64 { return c.clock.Add(1) }
+
 // Len returns the number of cached documents.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Bytes returns the bytes currently cached.
 func (c *Cache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
+	var b int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		b += s.bytes
+		s.mu.Unlock()
+	}
+	return b
 }
 
 // Cacheable reports whether a document of the given size may be stored.
@@ -134,28 +263,36 @@ func (c *Cache) Cacheable(size int64) bool {
 // The second result reports presence; it does not imply freshness — compare
 // Entry.Version against the request's expected version for that.
 func (c *Cache) Get(key string) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
 	if !ok {
-		c.misses++
+		s.misses++
+		s.mu.Unlock()
 		return Entry{}, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(Entry), true
+	nd := el.Value.(*node)
+	if c.mask != 0 {
+		nd.stamp = c.tick()
+	}
+	s.ll.MoveToFront(el)
+	e := nd.e
+	s.hits++
+	s.mu.Unlock()
+	return e, true
 }
 
 // Peek returns the entry without promoting it and without touching hit
 // accounting. Summaries and tests use this.
 func (c *Cache) Peek(key string) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return Entry{}, false
 	}
-	return el.Value.(Entry), true
+	return el.Value.(*node).e, true
 }
 
 // Contains reports presence without promotion or accounting.
@@ -168,18 +305,22 @@ func (c *Cache) Contains(key string) bool {
 // operation single-copy sharing performs on the owning proxy when a peer
 // serves a remote hit. It reports whether the key was present.
 func (c *Cache) Touch(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return false
 	}
-	c.ll.MoveToFront(el)
+	if c.mask != 0 {
+		el.Value.(*node).stamp = c.tick()
+	}
+	s.ll.MoveToFront(el)
 	return true
 }
 
 // event is a deferred callback notification; callbacks fire after the
-// cache lock is released so they may do slow work (network sends) or
+// shard lock is released so they may do slow work (network sends) or
 // re-enter the cache without deadlocking.
 type event struct {
 	entry Entry
@@ -206,97 +347,130 @@ func (c *Cache) Put(e Entry) (stored bool) {
 	if !c.Cacheable(e.Size) {
 		return false
 	}
+	s := c.shardFor(e.Key)
 	var evs []event
-	c.mu.Lock()
-	if el, ok := c.items[e.Key]; ok {
-		old := el.Value.(Entry)
-		c.bytes += e.Size - old.Size
-		el.Value = e
-		c.ll.MoveToFront(el)
+	s.mu.Lock()
+	if el, ok := s.items[e.Key]; ok {
+		nd := el.Value.(*node)
+		old := nd.e
+		s.bytes += e.Size - old.Size
+		nd.e = e
+		if c.mask != 0 {
+			nd.stamp = c.tick()
+		}
+		s.ll.MoveToFront(el)
 		if old.Version != e.Version {
-			c.evUpdated++
+			s.evUpdated++
 			evs = append(evs, event{entry: old, evict: true, why: EvictUpdated})
 		}
-		evs = c.evictOverflowLocked(evs)
-		c.mu.Unlock()
+		evs = c.evictOverflowLocked(s, evs)
+		s.mu.Unlock()
 		c.fire(evs)
 		return true
 	}
-	c.bytes += e.Size
-	c.items[e.Key] = c.ll.PushFront(e)
+	s.bytes += e.Size
+	nd := &node{e: e}
+	if c.mask != 0 {
+		nd.stamp = c.tick()
+	}
+	s.items[e.Key] = s.ll.PushFront(nd)
 	evs = append(evs, event{entry: e})
-	evs = c.evictOverflowLocked(evs)
-	c.mu.Unlock()
+	evs = c.evictOverflowLocked(s, evs)
+	s.mu.Unlock()
 	c.fire(evs)
 	return true
 }
 
 // Remove deletes key, reporting whether it was present.
 func (c *Cache) Remove(key string) bool {
-	c.mu.Lock()
-	el, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
 	if !ok {
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return false
 	}
-	evs := c.removeElementLocked(el, EvictRemoved, nil)
-	c.mu.Unlock()
+	evs := c.removeElementLocked(s, el, EvictRemoved, nil)
+	s.mu.Unlock()
 	c.fire(evs)
 	return true
 }
 
-func (c *Cache) evictOverflowLocked(evs []event) []event {
-	for c.bytes > c.capacity {
-		back := c.ll.Back()
+func (c *Cache) evictOverflowLocked(s *shard, evs []event) []event {
+	for s.bytes > s.capacity {
+		back := s.ll.Back()
 		if back == nil {
 			return evs
 		}
-		evs = c.removeElementLocked(back, EvictCapacity, evs)
+		evs = c.removeElementLocked(s, back, EvictCapacity, evs)
 	}
 	return evs
 }
 
-func (c *Cache) removeElementLocked(el *list.Element, why Event, evs []event) []event {
-	e := el.Value.(Entry)
-	c.ll.Remove(el)
-	delete(c.items, e.Key)
-	c.bytes -= e.Size
+func (c *Cache) removeElementLocked(s *shard, el *list.Element, why Event, evs []event) []event {
+	e := el.Value.(*node).e
+	s.ll.Remove(el)
+	delete(s.items, e.Key)
+	s.bytes -= e.Size
 	switch why {
 	case EvictCapacity:
-		c.evCapacity++
+		s.evCapacity++
 	case EvictRemoved:
-		c.evRemoved++
+		s.evRemoved++
 	}
 	return append(evs, event{entry: e, evict: true, why: why})
 }
 
+// snapshot collects every shard's nodes (entry + recency stamp) and sorts
+// them most recently used first using the global clock. A single-shard
+// cache skips stamping entirely (its list order is the global order), so
+// its walk is returned as-is.
+func (c *Cache) snapshot() []node {
+	out := make([]node, 0, 64)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			out = append(out, *el.Value.(*node))
+		}
+		s.mu.Unlock()
+	}
+	if c.mask != 0 {
+		sort.Slice(out, func(i, j int) bool { return out[i].stamp > out[j].stamp })
+	}
+	return out
+}
+
 // Keys returns all cached keys from most to least recently used.
 func (c *Cache) Keys() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(Entry).Key)
+	nodes := c.snapshot()
+	out := make([]string, len(nodes))
+	for i, nd := range nodes {
+		out[i] = nd.e.Key
 	}
 	return out
 }
 
 // Entries returns all cached entries from most to least recently used.
 func (c *Cache) Entries() []Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]Entry, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(Entry))
+	nodes := c.snapshot()
+	out := make([]Entry, len(nodes))
+	for i, nd := range nodes {
+		out[i] = nd.e
 	}
 	return out
 }
 
 // Stats returns lifetime (hits, misses) counted by Get.
 func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Counters is a snapshot of the cache's lifetime activity.
@@ -311,22 +485,28 @@ type Counters struct {
 
 // Counters snapshots all lifetime counters at once.
 func (c *Cache) Counters() Counters {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Counters{
-		Hits:            c.hits,
-		Misses:          c.misses,
-		EvictedCapacity: c.evCapacity,
-		Removed:         c.evRemoved,
-		Updated:         c.evUpdated,
+	var out Counters
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.EvictedCapacity += s.evCapacity
+		out.Removed += s.evRemoved
+		out.Updated += s.evUpdated
+		s.mu.Unlock()
 	}
+	return out
 }
 
 // Clear empties the cache without firing eviction callbacks.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element)
-	c.bytes = 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		s.items = make(map[string]*list.Element)
+		s.bytes = 0
+		s.mu.Unlock()
+	}
 }

@@ -1,0 +1,207 @@
+package lru
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestShardCountResolution(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want int
+	}{
+		// Default 250 KB limit exceeds these capacities: one shard, exact LRU.
+		{"tiny default", Config{Capacity: 300}, 1},
+		{"tiny explicit", Config{Capacity: 5000, Shards: 16}, 1},
+		// Unlimited object size means one document can fill the cache.
+		{"unlimited", Config{Capacity: 64 << 20, MaxObjectSize: -1, Shards: 8}, 1},
+		// 8 MB over 250 KB documents: at most 32 shards.
+		{"clamped", Config{Capacity: 8 << 20, Shards: 64}, 32},
+		// Requests round up to the next power of two.
+		{"round up", Config{Capacity: 64 << 20, Shards: 5}, 8},
+		{"exact", Config{Capacity: 64 << 20, Shards: 4}, 4},
+		// 1 KB objects in a 64 KB cache with a big request: 64 shards.
+		{"small objects", Config{Capacity: 64 << 10, MaxObjectSize: 1 << 10, Shards: 256}, 64},
+	}
+	for _, tc := range cases {
+		c := MustNewCache(tc.cfg)
+		if got := c.Shards(); got != tc.want {
+			t.Errorf("%s: shards = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestShardBudgetsSumToCapacity(t *testing.T) {
+	c := MustNewCache(Config{Capacity: 1<<20 + 7, MaxObjectSize: 1 << 10, Shards: 8})
+	var sum int64
+	for i := range c.shards {
+		if c.shards[i].capacity < c.MaxObjectSize() {
+			t.Fatalf("shard %d budget %d below max object size", i, c.shards[i].capacity)
+		}
+		sum += c.shards[i].capacity
+	}
+	if sum != c.Capacity() {
+		t.Fatalf("shard budgets sum to %d, want %d", sum, c.Capacity())
+	}
+}
+
+// With multiple shards the recency-stamp merge must still produce a global
+// MRU-first order for Keys and Entries.
+func TestGlobalMRUOrderAcrossShards(t *testing.T) {
+	c := MustNewCache(Config{Capacity: 64 << 10, MaxObjectSize: 1 << 10, Shards: 8})
+	if c.Shards() < 2 {
+		t.Fatal("want a multi-shard cache for this test")
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(Entry{Key: fmt.Sprintf("k%d", i), Size: 100})
+	}
+	c.Get("k3") // most recent
+	keys := c.Keys()
+	if len(keys) != 10 || keys[0] != "k3" {
+		t.Fatalf("keys = %v, want k3 first", keys)
+	}
+	if keys[1] != "k9" || keys[len(keys)-1] != "k0" {
+		t.Fatalf("keys = %v, want k9 second and k0 last", keys)
+	}
+	entries := c.Entries()
+	for i, e := range entries {
+		if e.Key != keys[i] {
+			t.Fatalf("Entries order diverges from Keys at %d: %s vs %s", i, e.Key, keys[i])
+		}
+	}
+}
+
+// The eviction-callback accounting invariant under parallel load: each
+// goroutine owns a disjoint key space (callback order per key is then
+// well-defined), and after the storm the insert/evict stream must mirror
+// the cache contents exactly — the property that keeps a Bloom-filter
+// summary consistent with a live concurrent cache.
+func TestParallelCallbackAccounting(t *testing.T) {
+	var mu sync.Mutex
+	mirror := map[string]bool{}
+	c := MustNewCache(Config{
+		Capacity:      256 << 10,
+		MaxObjectSize: 4 << 10,
+		Shards:        8,
+		OnInsert: func(e Entry) {
+			mu.Lock()
+			mirror[e.Key] = true
+			mu.Unlock()
+		},
+		OnEvict: func(e Entry, ev Event) {
+			if ev == EvictUpdated {
+				return
+			}
+			mu.Lock()
+			delete(mirror, e.Key)
+			mu.Unlock()
+		},
+	})
+	if c.Shards() < 2 {
+		t.Fatal("want a multi-shard cache for this test")
+	}
+	workers := 4 * runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 3000; i++ {
+				k := fmt.Sprintf("g%d-%d", g, rng.Intn(200))
+				switch rng.Intn(4) {
+				case 0, 1:
+					c.Put(Entry{Key: k, Size: int64(rng.Intn(2048) + 1), Version: int64(rng.Intn(3))})
+				case 2:
+					c.Get(k)
+				case 3:
+					c.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if c.Bytes() > c.Capacity() {
+		t.Fatalf("bytes %d exceed capacity %d", c.Bytes(), c.Capacity())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(mirror) != c.Len() {
+		t.Fatalf("mirror has %d keys, cache has %d", len(mirror), c.Len())
+	}
+	for _, k := range c.Keys() {
+		if !mirror[k] {
+			t.Fatalf("cache key %q missing from mirror", k)
+		}
+	}
+	var sum int64
+	for _, e := range c.Entries() {
+		sum += e.Size
+	}
+	if sum != c.Bytes() {
+		t.Fatalf("entry sizes sum to %d, Bytes reports %d", sum, c.Bytes())
+	}
+}
+
+// Shared-key stress under the race detector: Get/Put/Touch/Remove/iterate
+// from many goroutines on overlapping keys.
+func TestParallelSharedKeys(t *testing.T) {
+	c := MustNewCache(Config{Capacity: 1 << 20, MaxObjectSize: 8 << 10, Shards: 0})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 31))
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", rng.Intn(64))
+				switch rng.Intn(5) {
+				case 0:
+					c.Put(Entry{Key: k, Size: int64(rng.Intn(4096) + 1)})
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Touch(k)
+				case 3:
+					c.Remove(k)
+				case 4:
+					if i%500 == 0 {
+						c.Keys()
+						c.Counters()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > c.Capacity() {
+		t.Fatal("capacity violated under concurrency")
+	}
+	cnt := c.Counters()
+	if cnt.Hits+cnt.Misses == 0 {
+		t.Fatal("no accesses recorded")
+	}
+}
+
+// BenchmarkParallelGet measures the sharded read path under contention.
+func BenchmarkParallelGet(b *testing.B) {
+	c := MustNewCache(Config{Capacity: 64 << 20})
+	keys := make([]string, 8192)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("http://bench/doc%d", i)
+		c.Put(Entry{Key: keys[i], Size: 2048})
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(keys[i%len(keys)])
+			i++
+		}
+	})
+}

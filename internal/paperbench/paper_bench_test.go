@@ -5,7 +5,7 @@
 // EXPERIMENTS.md records one full run against the paper's published
 // values. Workload scale is set by the SUMMARYCACHE_SCALE environment
 // variable (default 0.25; 1.0 ≈ 200k requests for the largest trace).
-package summarycache_test
+package paperbench
 
 import (
 	"fmt"

@@ -66,7 +66,11 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 			return Result{}, fmt.Errorf("sim: unknown summary kind %v", cfg.Summary.Kind)
 		}
 		sum := p.sum
-		cache, err := lru.New(cfg.CacheBytes, lru.Config{
+		// Shards: 1 — the simulator models a single proxy's exact global
+		// LRU; sharding would perturb eviction order and hit ratios.
+		cache, err := lru.NewCache(lru.Config{
+			Capacity:      cfg.CacheBytes,
+			Shards:        1,
 			MaxObjectSize: cfg.MaxObjectSize,
 			OnInsert:      func(e lru.Entry) { sum.insert(e.Key) },
 			OnEvict: func(e lru.Entry, ev lru.Event) {
@@ -88,7 +92,7 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 	var parent *lru.Cache
 	if cfg.ParentCacheBytes > 0 {
 		var err error
-		parent, err = lru.New(cfg.ParentCacheBytes, lru.Config{MaxObjectSize: cfg.MaxObjectSize})
+		parent, err = lru.NewCache(lru.Config{Capacity: cfg.ParentCacheBytes, Shards: 1, MaxObjectSize: cfg.MaxObjectSize})
 		if err != nil {
 			return Result{}, err
 		}
@@ -269,7 +273,7 @@ func runGlobal(cfg Config, reqs []trace.Request) (Result, error) {
 	if cfg.Scheme == GlobalCacheShrunk {
 		total = total * 9 / 10
 	}
-	cache, err := lru.New(total, lru.Config{MaxObjectSize: cfg.MaxObjectSize})
+	cache, err := lru.NewCache(lru.Config{Capacity: total, Shards: 1, MaxObjectSize: cfg.MaxObjectSize})
 	if err != nil {
 		return Result{}, err
 	}
