@@ -14,6 +14,7 @@ import (
 	"summarycache/internal/bloom"
 	"summarycache/internal/core"
 	"summarycache/internal/experiments"
+	"summarycache/internal/faultnet"
 	"summarycache/internal/hashing"
 	"summarycache/internal/httpproxy"
 	"summarycache/internal/icp"
@@ -246,6 +247,33 @@ func ListenTCP(addr string, handler ICPHandler) (*TCPServer, error) {
 
 // ICPHandler consumes received ICP messages with their remote address.
 type ICPHandler = icp.Handler
+
+// --- deterministic fault injection (internal/faultnet) ---
+
+// FaultScenario is a complete, replayable fault schedule: a seed plus the
+// drop/delay/duplication rates for each direction of the ICP UDP path and
+// the failure rates for the outbound HTTP transport. Set an injector built
+// from one on ProxyConfig.Faults (or SyntheticConfig.Chaos for a whole
+// benchmark mesh).
+type FaultScenario = faultnet.Scenario
+
+// FaultRates are the per-datagram UDP fault probabilities for one
+// direction of a FaultScenario.
+type FaultRates = faultnet.Rates
+
+// FaultHTTPRates are the per-request fault probabilities for the HTTP
+// transport wrapper.
+type FaultHTTPRates = faultnet.HTTPRates
+
+// FaultInjector instantiates a FaultScenario: a kill switch plus the
+// socket and transport wrappers that inject its faults, with per-kind
+// accounting.
+type FaultInjector = faultnet.Injector
+
+// NewFaultInjector instantiates a scenario. The injector starts enabled;
+// SetEnabled(false) turns every wrapper into a pure passthrough (the
+// "faults clear" phase of a chaos run).
+func NewFaultInjector(s FaultScenario) *FaultInjector { return faultnet.New(s) }
 
 // --- observability (internal/obs) ---
 

@@ -43,6 +43,8 @@ var (
 	requests   = flag.Int("requests", 200, "requests per client (paper: 200)")
 	replayN    = flag.Int("replay", 12000, "trace requests to replay for tables 4/5 (paper: 24000)")
 	traceScale = flag.Float64("trace-scale", 0.25, "UPisa trace scale for replays")
+	chaosRate  = flag.Float64("chaos", 0, "fault-injection intensity: UDP loss rate per direction, with proportional delay/duplication and HTTP fault bursts (0: no injection layer)")
+	chaosSeed  = flag.Int64("chaos-seed", 1, "fault-injection scenario seed; the same seed replays the same fault schedule")
 	adminAddr  = flag.String("admin", "", "admin listen address serving /metrics, /debug/vars and /debug/pprof/ for the live mesh (empty: disabled)")
 	traceRate  = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for request traces; anomalous traces are always kept once tracing is on")
 	traceBuf   = flag.Int("trace-buffer", 0, "trace ring-buffer capacity (0 with -trace-sample=0: tracing disabled)")
@@ -76,6 +78,34 @@ func newRunRegistry() *sc.Registry {
 func runTracer() *sc.Tracer { return currentTracer.Load() }
 
 var modes = []sc.ProxyMode{sc.ProxyModeNone, sc.ProxyModeICP, sc.ProxyModeSCICP}
+
+// chaosScenario derives the run's fault schedule from -chaos/-chaos-seed
+// (nil when -chaos is 0: the benchmark runs with no injection layer).
+func chaosScenario() *sc.FaultScenario {
+	if *chaosRate <= 0 {
+		return nil
+	}
+	udp := sc.FaultRates{
+		Drop:      *chaosRate,
+		Duplicate: *chaosRate / 3,
+		Delay:     *chaosRate / 2,
+		DelayMin:  time.Millisecond,
+		DelayMax:  10 * time.Millisecond,
+	}
+	return &sc.FaultScenario{
+		Seed:     *chaosSeed,
+		Inbound:  udp,
+		Outbound: udp,
+		HTTP: sc.FaultHTTPRates{
+			ConnectFail: *chaosRate / 3,
+			Stall:       *chaosRate / 8,
+			StallFor:    50 * time.Millisecond,
+			Truncate:    *chaosRate / 3,
+			Err5xx:      *chaosRate / 2,
+			Burst:       2,
+		},
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -136,13 +166,14 @@ func run() error {
 func render(title string, results []sc.BenchResult) {
 	fmt.Printf("== %s ==\n", title)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "mode\thit ratio\tremote hits\tlatency (mean)\tlatency (p90)\tuser CPU\tsys CPU\tUDP msgs\tHTTP msgs\torigin reqs\tload CV")
+	fmt.Fprintln(w, "mode\thit ratio\tremote hits\tlatency (mean)\tlatency (p90)\tuser CPU\tsys CPU\tUDP msgs\tHTTP msgs\torigin reqs\tload CV\tretries\tfaults")
 	for _, r := range results {
-		fmt.Fprintf(w, "%v\t%.1f%%\t%.1f%%\t%v\t%v\t%v\t%v\t%d\t%d\t%d\t%.3f\n",
+		fmt.Fprintf(w, "%v\t%.1f%%\t%.1f%%\t%v\t%v\t%v\t%v\t%d\t%d\t%d\t%.3f\t%d\t%d\n",
 			r.Mode, 100*r.HitRatio, 100*r.RemoteHitRatio,
 			r.MeanLatency.Round(time.Millisecond), r.P90Latency.Round(time.Millisecond),
 			r.CPU.User.Round(10*time.Millisecond), r.CPU.System.Round(10*time.Millisecond),
-			r.UDPSent+r.UDPReceived, r.HTTPMessages, r.OriginRequests, r.LoadCV)
+			r.UDPSent+r.UDPReceived, r.HTTPMessages, r.OriginRequests, r.LoadCV,
+			r.Retries, r.FaultsInjected)
 	}
 	w.Flush()
 	fmt.Println()
@@ -161,6 +192,7 @@ func table2(hitRatio float64) error {
 			Disjoint:          true, // the paper's worst case: no remote hits
 			OriginLatency:     *latency,
 			Seed:              42, // "we use the same seeds ... to ensure comparable results"
+			Chaos:             chaosScenario(),
 			Metrics:           newRunRegistry(),
 			Tracer:            runTracer(),
 		})
@@ -222,6 +254,7 @@ func replay(a sc.Assignment, title string) error {
 			Assignment:    a,
 			Trace:         reqs,
 			OriginLatency: *latency,
+			Chaos:         chaosScenario(),
 			Metrics:       newRunRegistry(),
 			Tracer:        runTracer(),
 		})

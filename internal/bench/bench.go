@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"summarycache/internal/core"
+	"summarycache/internal/faultnet"
 	"summarycache/internal/httpproxy"
 	"summarycache/internal/obs"
 	"summarycache/internal/origin"
@@ -53,6 +54,13 @@ type SyntheticConfig struct {
 	// the prototype's one-IP-packet default).
 	MinUpdateFlips int
 	Seed           int64
+	// Chaos, when set, runs the benchmark under fault injection: each
+	// proxy wraps its network edges with an injector built from
+	// Chaos.Fork(i), and the proxies get a resilient fetch pipeline
+	// (generous retries, tight backoff) so injected faults degrade to
+	// retries and false hits rather than failed runs. Nil: no injection
+	// layer is interposed at all.
+	Chaos *faultnet.Scenario
 	// Metrics, when set, is shared by every proxy in the mesh so one
 	// admin endpoint (proxybench -admin) exposes the whole run; each
 	// proxy's series are distinguished by its proxy="<addr>" label.
@@ -106,6 +114,12 @@ type Result struct {
 	HTTPMessages uint64
 	// OriginRequests counts fetches that reached the servers.
 	OriginRequests uint64
+	// Retries counts fetch attempts repeated after retryable failures
+	// across the mesh (nonzero only under chaos or a flaky origin).
+	Retries uint64
+	// FaultsInjected totals the faults the chaos layer injected across
+	// every proxy (zero when SyntheticConfig.Chaos is nil).
+	FaultsInjected uint64
 	// PerProxyRequests is each proxy's client-request count; LoadCV is
 	// their coefficient of variation (stddev/mean) — the paper's Table
 	// IV/V load-balance observation ("the proxies are more load-balanced
@@ -124,12 +138,13 @@ func (r Result) String() string {
 
 // testbed is a running origin + proxy mesh.
 type testbed struct {
-	origin  *origin.Server
-	proxies []*httpproxy.Proxy
-	client  *http.Client
+	origin    *origin.Server
+	proxies   []*httpproxy.Proxy
+	injectors []*faultnet.Injector // non-empty only under chaos
+	client    *http.Client
 }
 
-func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int, reg *obs.Registry, tracer *tracing.Tracer) (*testbed, error) {
+func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int, chaos *faultnet.Scenario, reg *obs.Registry, tracer *tracing.Tracer) (*testbed, error) {
 	org, err := origin.Start(origin.Config{Latency: originLatency})
 	if err != nil {
 		return nil, err
@@ -138,7 +153,7 @@ func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatenc
 		Transport: &http.Transport{MaxIdleConnsPerHost: 256, MaxIdleConns: 1024},
 	}}
 	for i := 0; i < proxies; i++ {
-		p, err := httpproxy.Start(httpproxy.Config{
+		cfg := httpproxy.Config{
 			Mode:       mode,
 			CacheBytes: cacheBytes,
 			Summary: core.DirectoryConfig{
@@ -150,7 +165,18 @@ func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatenc
 			QueryTimeout:   2 * time.Second,
 			Metrics:        reg,
 			Tracer:         tracer,
-		})
+		}
+		if chaos != nil {
+			inj := faultnet.New(chaos.Fork(int64(i)))
+			tb.injectors = append(tb.injectors, inj)
+			cfg.Faults = inj
+			// Ride out the injected faults: retries absorb transient
+			// fetch failures so the run measures degradation, not deaths.
+			cfg.FetchTimeout = 5 * time.Second
+			cfg.FetchRetries = 8
+			cfg.FetchBackoff = 2 * time.Millisecond
+		}
+		p, err := httpproxy.Start(cfg)
 		if err != nil {
 			tb.Close()
 			return nil, err
@@ -213,6 +239,10 @@ func (tb *testbed) collect(r *Result) {
 		r.UDPSentBytes += st.UDP.SentBytes
 		r.UDPRecvBytes += st.UDP.RecvBytes
 		r.HTTPMessages += st.HTTPMessages
+		r.Retries += st.Retries
+	}
+	for _, inj := range tb.injectors {
+		r.FaultsInjected += inj.Total()
 	}
 	r.Requests = clientReqs
 	if clientReqs > 0 {
@@ -236,7 +266,7 @@ func (tb *testbed) collect(r *Result) {
 // RunSynthetic executes one Table II-style benchmark run.
 func RunSynthetic(cfg SyntheticConfig) (Result, error) {
 	cfg.applyDefaults()
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics, cfg.Tracer)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Chaos, cfg.Metrics, cfg.Tracer)
 	if err != nil {
 		return Result{}, err
 	}
@@ -346,6 +376,9 @@ type ReplayConfig struct {
 	UpdateThreshold float64
 	// MinUpdateFlips forwards to the SC-ICP packet-fill batching.
 	MinUpdateFlips int
+	// Chaos runs the replay under fault injection (see
+	// SyntheticConfig.Chaos).
+	Chaos *faultnet.Scenario
 	// Metrics, when set, is shared by every proxy in the mesh (see
 	// SyntheticConfig.Metrics).
 	Metrics *obs.Registry
@@ -371,7 +404,7 @@ func RunReplay(cfg ReplayConfig) (Result, error) {
 	if len(cfg.Trace) == 0 {
 		return Result{}, fmt.Errorf("bench: empty trace")
 	}
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Metrics, cfg.Tracer)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Chaos, cfg.Metrics, cfg.Tracer)
 	if err != nil {
 		return Result{}, err
 	}

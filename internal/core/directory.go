@@ -157,6 +157,13 @@ func (d *Directory) Drain() []bloom.Flip {
 	return out
 }
 
+// FilterSnapshot returns a copy of the directory's plain bit array — the
+// authoritative state a peer's replica should equal once the mesh has
+// converged (see PeerTable.ReplicaSnapshot).
+func (d *Directory) FilterSnapshot() []byte {
+	return d.counting.BitFilter().Snapshot()
+}
+
 // SnapshotFlips returns the full current state as set-bit flips — what a
 // newly joined or recovered peer needs after resetting its replica
 // ("reinitializes a failed neighbor's bit array when it recovers"). The

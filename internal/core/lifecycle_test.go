@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNodeCloseConcurrent is the regression test for the double-close
+// race: two concurrent Close calls could both observe the publish-timer
+// channel open and both close it, panicking. Close must be idempotent.
+func TestNodeCloseConcurrent(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		n, err := NewNode(NodeConfig{
+			ListenAddr:      "127.0.0.1:0",
+			Directory:       DirectoryConfig{ExpectedDocs: 100},
+			HasDocument:     func(string) bool { return false },
+			PublishInterval: time.Hour, // arms stopTimer, the racy channel
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := n.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestNodeCloseWithoutTimer covers the PublishInterval=0 path (nil
+// stopTimer) under the same concurrent shutdown.
+func TestNodeCloseWithoutTimer(t *testing.T) {
+	n, err := NewNode(NodeConfig{
+		ListenAddr:  "127.0.0.1:0",
+		Directory:   DirectoryConfig{ExpectedDocs: 100},
+		HasDocument: func(string) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Close()
+		}()
+	}
+	wg.Wait()
+	if err := n.Close(); err != nil {
+		t.Errorf("repeated Close: %v", err)
+	}
+}
+
+// TestMarkPeerDownUp exercises the external failure feed the HTTP circuit
+// breaker drives: down drops the replica (no more nominations) and flips
+// health; up restores health and re-ships full state so the peer's
+// replica of us reconverges.
+func TestMarkPeerDownUp(t *testing.T) {
+	mk := func() *Node {
+		n, err := NewNode(NodeConfig{
+			ListenAddr:  "127.0.0.1:0",
+			Directory:   DirectoryConfig{ExpectedDocs: 200, UpdateThreshold: 0.01},
+			HasDocument: func(string) bool { return true },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	a, b := mk(), mk()
+	if err := a.AddPeer(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	const doc = "http://example.test/doc"
+	b.HandleInsert(doc)
+	b.PublishNow()
+	waitFor(t, "b's summary to reach a", func() bool {
+		return len(a.PeerSummaries().Candidates(doc)) == 1
+	})
+
+	bID := b.Addr().String()
+	a.MarkPeerDown(b.Addr())
+	if got := a.PeerSummaries().Candidates(doc); len(got) != 0 {
+		t.Fatalf("candidates after MarkPeerDown = %v, want none", got)
+	}
+	if up, down := a.Health().Snapshot(); len(down) != 1 || down[0] != bID {
+		t.Fatalf("health after down: up=%v down=%v", up, down)
+	}
+
+	if err := a.MarkPeerUp(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Health().UpCount() != 1 {
+		t.Fatal("health not restored by MarkPeerUp")
+	}
+	// MarkPeerUp re-ships A's full state: B's replica of A must converge
+	// to A's own filter.
+	waitFor(t, "b's replica of a to converge", func() bool {
+		snap, ok := b.PeerSummaries().ReplicaSnapshot(a.Addr().String())
+		if !ok {
+			return false
+		}
+		want := a.Directory().FilterSnapshot()
+		return string(snap) == string(want)
+	})
+}

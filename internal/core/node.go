@@ -81,6 +81,12 @@ type NodeConfig struct {
 	// up/down transitions, summary publications, peer filter rebuilds).
 	// Nil: events are discarded.
 	Logger *slog.Logger
+	// SocketWrapper, when set, decorates the node's bound UDP socket
+	// before use — the fault-injection hook (internal/faultnet) that lets
+	// tests and chaos benchmarks impose loss, delay, duplication and
+	// reordering on this node's ICP traffic. Nil: the raw socket, with no
+	// interposed call.
+	SocketWrapper icp.SocketWrapper
 	// Tracer, when set, records the node's side of distributed request
 	// traces: decision audits on traced Lookups (which summaries matched,
 	// at which bit indices and generation, and what each peer actually
@@ -164,6 +170,8 @@ type Node struct {
 	tracer  *tracing.Tracer // nil: tracing disabled
 
 	stopTimer chan struct{}       // closes on Close when PublishInterval is set
+	closeOnce sync.Once           // makes Close idempotent and race-free
+	closeErr  error               // the first Close's result, returned by all
 	mcast     *icp.MulticastGroup // nil unless MulticastGroup configured
 	groupAddr *net.UDPAddr
 
@@ -203,7 +211,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		log:       obs.OrNop(cfg.Logger),
 		tracer:    cfg.Tracer,
 	}
-	conn, err := icp.Listen(cfg.ListenAddr, n.handle)
+	conn, err := icp.ListenWrapped(cfg.ListenAddr, n.handle, cfg.SocketWrapper)
 	if err != nil {
 		return nil, err
 	}
@@ -398,27 +406,30 @@ func (n *Node) Directory() *Directory { return n.dir }
 // PeerSummaries exposes the peer replica table (diagnostics and tests).
 func (n *Node) PeerSummaries() *PeerTable { return n.peers }
 
-// Close shuts the node down.
+// Close shuts the node down. It is idempotent and safe to call
+// concurrently: all callers observe the first shutdown's result. (The
+// previous check-then-close of the publish-timer channel let two
+// concurrent Close calls both take the not-yet-closed branch and panic on
+// the second close.)
 func (n *Node) Close() error {
-	if n.stopTimer != nil {
-		select {
-		case <-n.stopTimer:
-		default:
+	n.closeOnce.Do(func() {
+		if n.stopTimer != nil {
 			close(n.stopTimer)
 		}
-	}
-	if n.mcast != nil {
-		n.mcast.Close()
-	}
-	if n.tcpSrv != nil {
-		n.tcpSrv.Close()
-	}
-	n.tcpMu.Lock()
-	for _, c := range n.tcpPeers {
-		c.Close()
-	}
-	n.tcpMu.Unlock()
-	return n.conn.Close()
+		if n.mcast != nil {
+			n.mcast.Close()
+		}
+		if n.tcpSrv != nil {
+			n.tcpSrv.Close()
+		}
+		n.tcpMu.Lock()
+		for _, c := range n.tcpPeers {
+			c.Close()
+		}
+		n.tcpMu.Unlock()
+		n.closeErr = n.conn.Close()
+	})
+	return n.closeErr
 }
 
 // handleMulticast consumes group traffic: directory updates from peers
@@ -459,6 +470,45 @@ func (n *Node) AddPeer(addr *net.UDPAddr) error {
 	n.mu.Unlock()
 	n.health.SetPeer(addr.String(), true)
 	return n.sendFullState(addr)
+}
+
+// MarkPeerDown records an externally detected failure of a registered
+// neighbor — typically the HTTP layer's circuit breaker tripping on
+// consecutive failed sibling fetches. The peer's summary replica is
+// dropped so a sibling that cannot deliver documents stops attracting
+// nominations, and /healthz reports it down. The peer stays registered:
+// its next directory update (proof of life) rebuilds the replica, and
+// MarkPeerUp restores it fully.
+func (n *Node) MarkPeerDown(addr *net.UDPAddr) {
+	id := addr.String()
+	n.peers.Drop(id)
+	n.health.SetPeer(id, false)
+	n.log.Warn("peer marked down", "peer", id, "source", "external")
+}
+
+// MarkPeerUp records an externally detected recovery (a circuit breaker's
+// half-open probe succeeding): /healthz reports the peer up again and
+// this node re-ships its full summary state so the recovered neighbor's
+// replica of us restarts correct — the same resync path the health
+// prober's recovery transition uses.
+func (n *Node) MarkPeerUp(addr *net.UDPAddr) error {
+	id := addr.String()
+	n.health.SetPeer(id, true)
+	n.log.Info("peer marked up", "peer", id, "source", "external")
+	return n.sendFullState(addr)
+}
+
+// ResyncPeers re-ships this node's full summary state to every registered
+// neighbor — the full-resync path applied wholesale, e.g. after a lossy
+// network episode ends and replicas across the mesh must reconverge.
+func (n *Node) ResyncPeers() error {
+	var firstErr error
+	for _, addr := range n.PeerAddrs() {
+		if err := n.sendFullState(addr); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // RemovePeer forgets a neighbor and its summary.

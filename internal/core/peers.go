@@ -186,6 +186,20 @@ func (pt *PeerTable) Drop(peer string) {
 	delete(pt.peers, peer)
 }
 
+// ReplicaSnapshot returns a copy of the peer's replica bit array (and
+// whether a replica exists). Chaos tests compare it against the peer's
+// own Directory.FilterSnapshot to prove the mesh reconverged after a
+// lossy episode.
+func (pt *PeerTable) ReplicaSnapshot(peer string) ([]byte, bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	ps := pt.peers[peer]
+	if ps == nil {
+		return nil, false
+	}
+	return ps.filter.Snapshot(), true
+}
+
 // Updates returns how many update messages have been applied for peer.
 func (pt *PeerTable) Updates(peer string) uint64 {
 	pt.mu.RLock()

@@ -1,0 +1,303 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosRates is a representative schedule used across the tests.
+var chaosRates = Rates{Drop: 0.2, Duplicate: 0.1, Delay: 0.1, DelayMin: time.Millisecond, DelayMax: 3 * time.Millisecond}
+
+// TestDeciderDeterminism is the package's core contract: the same seed
+// and rates produce the same verdict (and delay) sequence, event by event.
+func TestDeciderDeterminism(t *testing.T) {
+	a := newDecider(42, 7)
+	b := newDecider(42, 7)
+	diffSeed := newDecider(43, 7)
+	diverged := false
+	for i := 0; i < 10000; i++ {
+		va, da := a.udpVerdict(chaosRates)
+		vb, db := b.udpVerdict(chaosRates)
+		if va != vb || da != db {
+			t.Fatalf("event %d: (%v,%v) != (%v,%v)", i, va, da, vb, db)
+		}
+		if vc, dc := diffSeed.udpVerdict(chaosRates); vc != va || dc != da {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("a different seed produced an identical 10k-event sequence")
+	}
+}
+
+func TestDeciderRatesRoughlyHonored(t *testing.T) {
+	d := newDecider(1, 1)
+	counts := map[Verdict]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v, _ := d.udpVerdict(chaosRates)
+		counts[v]++
+	}
+	check := func(v Verdict, want float64) {
+		got := float64(counts[v]) / n
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("%v rate %.3f, want ~%.3f", v, got, want)
+		}
+	}
+	check(Drop, 0.2)
+	check(Duplicate, 0.1)
+	check(Delay, 0.1)
+	check(Pass, 0.6)
+}
+
+// scriptConn is a fake socket recording outbound writes and serving a
+// scripted inbound queue.
+type scriptConn struct {
+	mu     sync.Mutex
+	writes []string
+	inbox  []string
+}
+
+func (s *scriptConn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.inbox) == 0 {
+		return 0, nil, io.EOF
+	}
+	msg := s.inbox[0]
+	s.inbox = s.inbox[1:]
+	return copy(b, msg), &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}, nil
+}
+
+func (s *scriptConn) WriteToUDP(b []byte, _ *net.UDPAddr) (int, error) {
+	s.mu.Lock()
+	s.writes = append(s.writes, string(b))
+	s.mu.Unlock()
+	return len(b), nil
+}
+
+func (s *scriptConn) Close() error        { return nil }
+func (s *scriptConn) LocalAddr() net.Addr { return &net.UDPAddr{} }
+
+func (s *scriptConn) wireLog() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.writes...)
+}
+
+// TestWrapUDPDeterministicSchedule drives the same write sequence through
+// two injectors built from the same scenario and requires the on-wire
+// result to be identical (drop/duplicate only — delays land asynchronously
+// and are exercised separately).
+func TestWrapUDPDeterministicSchedule(t *testing.T) {
+	scen := Scenario{Seed: 99, Outbound: Rates{Drop: 0.3, Duplicate: 0.2}}
+	run := func() []string {
+		raw := &scriptConn{}
+		c := New(scen).WrapUDP(raw)
+		addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+		for i := 0; i < 400; i++ {
+			msg := string(rune('a' + i%26))
+			if _, err := c.WriteToUDP([]byte(msg), addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return raw.wireLog()
+	}
+	first, second := run(), run()
+	if len(first) != len(second) {
+		t.Fatalf("wire logs differ in length: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("wire logs diverge at %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+	if len(first) == 400 {
+		t.Error("no faults fired at 30% drop + 20% duplicate over 400 writes")
+	}
+}
+
+func TestWrapUDPInboundDrop(t *testing.T) {
+	scen := Scenario{Seed: 5, Inbound: Rates{Drop: 0.5}}
+	inj := New(scen)
+	raw := &scriptConn{}
+	for i := 0; i < 200; i++ {
+		raw.inbox = append(raw.inbox, "m")
+	}
+	c := inj.WrapUDP(raw)
+	buf := make([]byte, 16)
+	delivered := 0
+	for {
+		_, _, err := c.ReadFromUDP(buf)
+		if err != nil {
+			break
+		}
+		delivered++
+	}
+	dropped := inj.Count(KindUDPDropIn)
+	if delivered+int(dropped) != 200 {
+		t.Fatalf("delivered %d + dropped %d != 200", delivered, dropped)
+	}
+	if dropped < 60 || dropped > 140 {
+		t.Errorf("dropped %d of 200 at rate 0.5", dropped)
+	}
+}
+
+// TestInjectorDisabledPassthrough checks the kill switch: every event
+// passes and no decision stream is consumed.
+func TestInjectorDisabledPassthrough(t *testing.T) {
+	inj := New(Scenario{Seed: 1, Outbound: Rates{Drop: 1}, Inbound: Rates{Drop: 1}})
+	inj.SetEnabled(false)
+	raw := &scriptConn{inbox: []string{"x"}}
+	c := inj.WrapUDP(raw)
+	addr := &net.UDPAddr{}
+	for i := 0; i < 50; i++ {
+		if _, err := c.WriteToUDP([]byte("y"), addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(raw.wireLog()); got != 50 {
+		t.Fatalf("disabled injector dropped writes: %d of 50 on the wire", got)
+	}
+	buf := make([]byte, 4)
+	if _, _, err := c.ReadFromUDP(buf); err != nil {
+		t.Fatalf("disabled injector ate the inbound datagram: %v", err)
+	}
+	if inj.Total() != 0 {
+		t.Errorf("disabled injector counted %d faults", inj.Total())
+	}
+}
+
+// countingRT is a base transport recording calls and serving fixed bodies.
+type countingRT struct {
+	calls int
+	body  string
+}
+
+func (c *countingRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.calls++
+	return &http.Response{
+		StatusCode:    http.StatusOK,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{},
+		Body:          io.NopCloser(strings.NewReader(c.body)),
+		ContentLength: int64(len(c.body)),
+		Request:       req,
+	}, nil
+}
+
+func testReq(t *testing.T, ctx context.Context) *http.Request {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://origin.test/doc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestTransportConnectFail(t *testing.T) {
+	base := &countingRT{body: "hello"}
+	rt := New(Scenario{Seed: 3, HTTP: HTTPRates{ConnectFail: 1}}).Transport(base)
+	_, err := rt.RoundTrip(testReq(t, context.Background()))
+	if !errors.Is(err, ErrInjectedConnect) {
+		t.Fatalf("err = %v, want ErrInjectedConnect", err)
+	}
+	if base.calls != 0 {
+		t.Errorf("base transport reached %d times through a connect failure", base.calls)
+	}
+}
+
+func TestTransport5xxBurst(t *testing.T) {
+	base := &countingRT{body: "hello"}
+	inj := New(Scenario{Seed: 3, HTTP: HTTPRates{Err5xx: 0.3, Burst: 3}})
+	rt := inj.Transport(base)
+	var codes []int
+	for i := 0; i < 60; i++ {
+		resp, err := rt.RoundTrip(testReq(t, context.Background()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, resp.StatusCode)
+		resp.Body.Close()
+	}
+	// Every injected 503 must come in runs of exactly Burst (or end the
+	// sequence early).
+	run := 0
+	for i, c := range codes {
+		if c == http.StatusServiceUnavailable {
+			run++
+			continue
+		}
+		if run != 0 && run%3 != 0 {
+			t.Fatalf("503 run of %d before index %d; bursts must be multiples of 3", run, i)
+		}
+		run = 0
+	}
+	if inj.Count(KindHTTP5xx) == 0 {
+		t.Error("no 503 injected at rate 0.3 over 60 requests")
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	base := &countingRT{body: strings.Repeat("x", 1000)}
+	rt := New(Scenario{Seed: 3, HTTP: HTTPRates{Truncate: 1}}).Transport(base)
+	resp, err := rt.RoundTrip(testReq(t, context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) >= 1000 {
+		t.Errorf("truncated body still delivered %d of 1000 bytes", len(body))
+	}
+}
+
+func TestTransportStallRespectsContext(t *testing.T) {
+	base := &countingRT{body: "hello"}
+	rt := New(Scenario{Seed: 3, HTTP: HTTPRates{Stall: 1, StallFor: time.Minute}}).Transport(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := rt.RoundTrip(testReq(t, ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("stall ignored the request context")
+	}
+}
+
+func TestNilInjectorPassthrough(t *testing.T) {
+	var inj *Injector
+	base := &countingRT{body: "b"}
+	if got := inj.Transport(base); got != http.RoundTripper(base) {
+		t.Error("nil injector did not return the base transport unchanged")
+	}
+	raw := &scriptConn{}
+	if got := inj.WrapUDP(raw); got != PacketConn(raw) {
+		t.Error("nil injector did not return the raw socket unchanged")
+	}
+}
+
+func TestScenarioFork(t *testing.T) {
+	s := Scenario{Seed: 7, Outbound: chaosRates}
+	a, b := s.Fork(1), s.Fork(2)
+	if a.Seed == b.Seed || a.Seed == s.Seed {
+		t.Errorf("forks did not derive distinct seeds: %d %d %d", s.Seed, a.Seed, b.Seed)
+	}
+	if a.Outbound != s.Outbound {
+		t.Error("fork changed the rates")
+	}
+}

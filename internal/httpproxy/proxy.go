@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"net/url"
@@ -21,10 +22,39 @@ import (
 	"time"
 
 	"summarycache/internal/core"
+	"summarycache/internal/faultnet"
 	"summarycache/internal/icp"
 	"summarycache/internal/lru"
 	"summarycache/internal/obs"
 	"summarycache/internal/tracing"
+)
+
+// Resilience defaults. Each Config field below accepts 0 for the default
+// and a negative value to disable the bound entirely (the seed's
+// unbounded behavior, kept reachable for experiments).
+const (
+	// DefaultFetchTimeout bounds one HTTP fetch attempt end to end.
+	DefaultFetchTimeout = 10 * time.Second
+	// DefaultFetchRetries is how many times a retryable origin fetch
+	// failure is retried (3 attempts total).
+	DefaultFetchRetries = 2
+	// DefaultFetchBackoff is the first retry's backoff; it doubles per
+	// attempt, capped at 32× with ±50% jitter.
+	DefaultFetchBackoff = 50 * time.Millisecond
+	// maxBackoffFactor caps the exponential growth (50ms default base
+	// tops out at 1.6s).
+	maxBackoffFactor = 32
+	// DefaultBreakerThreshold is the consecutive sibling-fetch failures
+	// that trip a peer's circuit breaker.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long a tripped breaker stays open
+	// before admitting a half-open probe fetch.
+	DefaultBreakerCooldown = 5 * time.Second
+	// DefaultReadHeaderTimeout bounds a client's request-header write, so
+	// slow-header (slowloris-style) clients cannot pin handler resources.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultIdleTimeout reclaims idle keep-alive client connections.
+	DefaultIdleTimeout = 2 * time.Minute
 )
 
 // Mode selects the cooperation protocol.
@@ -102,6 +132,42 @@ type Config struct {
 	SingleCopy bool
 	// QueryTimeout bounds ICP query waits.
 	QueryTimeout time.Duration
+	// FetchTimeout bounds each HTTP fetch attempt — origin, parent, or
+	// sibling — covering dial, response headers, and body. One hung
+	// origin must cost at most one timeout, never a wedged handler
+	// goroutine. 0: DefaultFetchTimeout; negative: unbounded.
+	FetchTimeout time.Duration
+	// FetchRetries is how many times a failed origin fetch is retried.
+	// Transport errors, 5xx statuses and truncated bodies are retryable;
+	// other non-200 statuses are permanent. 0: DefaultFetchRetries;
+	// negative: no retries.
+	FetchRetries int
+	// FetchBackoff is the initial retry backoff, doubled each retry and
+	// capped, with ±50% jitter so a mesh recovering from a shared origin
+	// outage does not retry in lockstep. 0: DefaultFetchBackoff.
+	FetchBackoff time.Duration
+	// BreakerThreshold trips a sibling's circuit breaker after this many
+	// consecutive failed cache-only fetches; while open, nominated
+	// documents go straight to the origin (a false hit, not an error) and
+	// the SC-ICP node drops the sibling's summary so it stops attracting
+	// nominations. 0: DefaultBreakerThreshold; negative: breaker disabled.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before one
+	// half-open probe fetch is admitted. 0: DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// ReadHeaderTimeout bounds how long the listener waits for a client's
+	// request headers. 0: DefaultReadHeaderTimeout; negative: unbounded.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout reclaims idle keep-alive client connections.
+	// 0: DefaultIdleTimeout; negative: unbounded.
+	IdleTimeout time.Duration
+	// Faults, when set, injects that scenario's faults into this proxy's
+	// network edges: its ICP UDP socket (loss, delay, duplication,
+	// reordering) and its outbound HTTP transport (connect failures,
+	// stalls, truncated bodies, 5xx bursts). The injected-fault counters
+	// register in the metrics registry. Nil: zero-overhead passthrough —
+	// no wrapper is interposed at all.
+	Faults *faultnet.Injector
 	// Metrics, when set, is the registry the proxy (and its SC-ICP node)
 	// instruments itself against; series carry a proxy="<http addr>"
 	// label so a whole mesh can share one registry and one /metrics
@@ -133,6 +199,12 @@ type Stats struct {
 	FalseHits     uint64
 	OriginFetches uint64
 	PeerFetches   uint64 // sibling cache-only fetches issued
+	// Retries counts additional origin fetch attempts after retryable
+	// failures (each logical fetch still counts once in OriginFetches).
+	Retries uint64
+	// BreakerSkips counts sibling fetches suppressed by an open circuit
+	// breaker (each becomes an origin fallback, classed a false hit).
+	BreakerSkips uint64
 	// HTTPMessages approximates the paper's TCP packet accounting at the
 	// application level: every HTTP transaction is a request plus a
 	// response.
@@ -158,6 +230,7 @@ type proxyMetrics struct {
 	clientReqs, localHits, remoteHits *obs.Counter
 	misses, falseHits                 *obs.Counter
 	originFetches, peerFetches        *obs.Counter
+	retries, breakerSkips             *obs.Counter
 	inflight                          *obs.Gauge
 	latency                           map[string]*obs.Histogram // by outcome
 }
@@ -178,6 +251,10 @@ func newProxyMetrics(reg *obs.Registry, labels obs.Labels) proxyMetrics {
 			"fetches issued to the origin (or parent)", labels),
 		peerFetches: reg.Counter("summarycache_proxy_peer_fetches_total",
 			"sibling cache-only fetches issued", labels),
+		retries: reg.Counter("summarycache_proxy_retries_total",
+			"origin fetch attempts repeated after retryable failures", labels),
+		breakerSkips: reg.Counter("summarycache_proxy_breaker_skips_total",
+			"sibling fetches suppressed by an open circuit breaker", labels),
 		inflight: reg.Gauge("summarycache_proxy_inflight_requests",
 			"client requests currently being served", labels),
 		latency: make(map[string]*obs.Histogram),
@@ -204,6 +281,18 @@ type Proxy struct {
 	icpPeers []*net.UDPAddr
 	peerHTTP map[string]string // ICP addr string -> sibling HTTP base URL
 
+	// breakers holds one circuit per sibling (nil map entries never
+	// exist; a nil breakers map means the breaker is disabled).
+	brMu     sync.Mutex
+	breakers map[string]*breaker
+
+	// Resolved resilience knobs (Config defaults applied once at Start).
+	fetchTimeout     time.Duration // 0: unbounded
+	fetchRetries     int
+	fetchBackoff     time.Duration
+	breakerThreshold int // <= 0: disabled
+	breakerCooldown  time.Duration
+
 	ln     net.Listener
 	srv    *http.Server
 	client *http.Client
@@ -212,6 +301,28 @@ type Proxy struct {
 	reg     *obs.Registry
 	health  *obs.Health     // non-node modes; ModeSCICP delegates to the node
 	tracer  *tracing.Tracer // nil: tracing disabled
+}
+
+// resolveDuration applies the 0=default / negative=disabled convention.
+func resolveDuration(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// resolveCount applies the 0=default / negative=disabled convention.
+func resolveCount(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Start launches a proxy.
@@ -229,16 +340,36 @@ func Start(cfg Config) (*Proxy, error) {
 		cfg.QueryTimeout = core.DefaultQueryTimeout
 	}
 	p := &Proxy{
-		cfg:      cfg,
-		bodies:   make(map[string][]byte),
-		peerHTTP: make(map[string]string),
-		client: &http.Client{
-			Transport: &http.Transport{
-				MaxIdleConnsPerHost: 64,
-				IdleConnTimeout:     30 * time.Second,
-			},
-		},
+		cfg:              cfg,
+		bodies:           make(map[string][]byte),
+		peerHTTP:         make(map[string]string),
+		fetchTimeout:     resolveDuration(cfg.FetchTimeout, DefaultFetchTimeout),
+		fetchRetries:     resolveCount(cfg.FetchRetries, DefaultFetchRetries),
+		fetchBackoff:     resolveDuration(cfg.FetchBackoff, DefaultFetchBackoff),
+		breakerThreshold: resolveCount(cfg.BreakerThreshold, DefaultBreakerThreshold),
+		breakerCooldown:  resolveDuration(cfg.BreakerCooldown, DefaultBreakerCooldown),
 	}
+	if p.breakerThreshold > 0 {
+		p.breakers = make(map[string]*breaker)
+	}
+	// The fetch client is bounded at every stage: dial, response headers
+	// (so an origin that accepts but never answers costs one timeout, not
+	// a wedged handler goroutine), and — via each attempt's context — the
+	// body. Config.Faults interposes its fault-injecting transport here;
+	// nil leaves the raw transport untouched.
+	transport := &http.Transport{
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	if p.fetchTimeout > 0 {
+		transport.DialContext = (&net.Dialer{Timeout: p.fetchTimeout}).DialContext
+		transport.ResponseHeaderTimeout = p.fetchTimeout
+	}
+	var rt http.RoundTripper = transport
+	if cfg.Faults != nil {
+		rt = cfg.Faults.Transport(rt)
+	}
+	p.client = &http.Client{Transport: rt}
 	cache, err := lru.NewCache(lru.Config{
 		Capacity:      cfg.CacheBytes,
 		Shards:        cfg.CacheShards,
@@ -268,11 +399,24 @@ func Start(cfg Config) (*Proxy, error) {
 	p.registerCacheMetrics(reg, labels)
 	p.tracer = cfg.Tracer
 
+	var sockWrap icp.SocketWrapper
+	if cfg.Faults != nil {
+		inj := cfg.Faults
+		sockWrap = func(c icp.PacketConn) icp.PacketConn { return inj.WrapUDP(c) }
+		for _, kind := range faultnet.Kinds {
+			kind := kind
+			reg.CounterFunc("summarycache_faultnet_injected_total",
+				"faults injected into this proxy's network paths",
+				labels.With("kind", kind),
+				func() uint64 { return inj.Count(kind) })
+		}
+	}
+
 	switch cfg.Mode {
 	case ModeNone:
 		// no protocol endpoint
 	case ModeICP:
-		conn, err := icp.Listen(cfg.ICPAddr, p.handleICP)
+		conn, err := icp.ListenWrapped(cfg.ICPAddr, p.handleICP, sockWrap)
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -286,6 +430,7 @@ func Start(cfg Config) (*Proxy, error) {
 			HasDocument:       p.cache.Contains,
 			MinFlipsToPublish: cfg.MinUpdateFlips,
 			QueryTimeout:      cfg.QueryTimeout,
+			SocketWrapper:     sockWrap,
 			Metrics:           reg,
 			Logger:            cfg.Logger,
 			Tracer:            cfg.Tracer,
@@ -303,7 +448,14 @@ func Start(cfg Config) (*Proxy, error) {
 		p.health = obs.NewHealth()
 	}
 
-	p.srv = &http.Server{Handler: p}
+	// The listener is hardened against slow-header clients and idle
+	// connection buildup; both bounds are configurable, neither can be
+	// accidentally unbounded.
+	p.srv = &http.Server{
+		Handler:           p,
+		ReadHeaderTimeout: resolveDuration(cfg.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		IdleTimeout:       resolveDuration(cfg.IdleTimeout, DefaultIdleTimeout),
+	}
 	go p.srv.Serve(ln)
 	return p, nil
 }
@@ -345,10 +497,27 @@ func (p *Proxy) Health() *obs.Health {
 }
 
 // StartHealthChecks begins probing SC-ICP peers (no-op stop function in
-// the other modes, which have no prober).
+// the other modes, which have no prober). The prober's verdicts are fed
+// to the per-sibling circuit breakers — a peer found down by UDP probing
+// has its breaker forced open (no point attempting HTTP fetches), and a
+// recovery resets it (the probe round-trip is the mesh-level half-open
+// trial) — before any caller-supplied OnChange observes the transition.
 func (p *Proxy) StartHealthChecks(cfg core.HealthConfig) (stop func()) {
 	if p.node == nil {
 		return func() {}
+	}
+	user := cfg.OnChange
+	cfg.OnChange = func(peer *net.UDPAddr, up bool) {
+		if br := p.breakerFor(peer.String()); br != nil {
+			if up {
+				br.Reset()
+			} else {
+				br.ForceOpen()
+			}
+		}
+		if user != nil {
+			user(peer, up)
+		}
 	}
 	return p.node.StartHealthChecks(cfg)
 }
@@ -387,19 +556,94 @@ func (p *Proxy) ICPAddr() *net.UDPAddr {
 func (p *Proxy) Mode() Mode { return p.cfg.Mode }
 
 // AddPeer registers a sibling by its ICP endpoint and HTTP base URL.
+// Re-adding a known ICP endpoint updates its HTTP URL in place.
 func (p *Proxy) AddPeer(icpAddr *net.UDPAddr, httpURL string) error {
 	if p.cfg.Mode == ModeNone {
 		return errors.New("httpproxy: ModeNone proxies have no peers")
 	}
+	id := icpAddr.String()
 	p.peerMu.Lock()
-	p.icpPeers = append(p.icpPeers, icpAddr)
-	p.peerHTTP[icpAddr.String()] = httpURL
+	if _, known := p.peerHTTP[id]; !known {
+		p.icpPeers = append(p.icpPeers, icpAddr)
+	}
+	p.peerHTTP[id] = httpURL
 	p.peerMu.Unlock()
+	p.registerBreaker(id)
 	if p.cfg.Mode == ModeSCICP {
 		return p.node.AddPeer(icpAddr)
 	}
-	p.health.SetPeer(icpAddr.String(), true)
+	p.health.SetPeer(id, true)
 	return nil
+}
+
+// registerBreaker creates the sibling's circuit (once) and exposes its
+// state as a gauge: 0 closed, 1 open, 2 half-open.
+func (p *Proxy) registerBreaker(id string) {
+	if p.breakers == nil {
+		return
+	}
+	p.brMu.Lock()
+	_, exists := p.breakers[id]
+	if !exists {
+		p.breakers[id] = newBreaker(p.breakerThreshold, p.breakerCooldown)
+	}
+	br := p.breakers[id]
+	p.brMu.Unlock()
+	if !exists {
+		p.reg.GaugeFunc("summarycache_proxy_breaker_state",
+			"sibling circuit state (0 closed, 1 open, 2 half-open)",
+			obs.L("proxy", p.ln.Addr().String(), "peer", id),
+			func() float64 { return float64(br.State()) })
+	}
+}
+
+// breakerFor returns the sibling's circuit, or nil when disabled/unknown.
+func (p *Proxy) breakerFor(id string) *breaker {
+	if p.breakers == nil {
+		return nil
+	}
+	p.brMu.Lock()
+	defer p.brMu.Unlock()
+	return p.breakers[id]
+}
+
+// BreakerState reports the sibling's circuit position (BreakerClosed for
+// unknown peers or when the breaker is disabled) — diagnostics and tests.
+func (p *Proxy) BreakerState(icpAddr string) BreakerState {
+	if br := p.breakerFor(icpAddr); br != nil {
+		return br.State()
+	}
+	return BreakerClosed
+}
+
+// markPeerDown feeds an externally detected sibling failure (a tripped
+// breaker) to whichever health tracker this mode carries.
+func (p *Proxy) markPeerDown(peer *net.UDPAddr) {
+	if p.node != nil {
+		p.node.MarkPeerDown(peer)
+		return
+	}
+	p.health.SetPeer(peer.String(), false)
+}
+
+// markPeerUp feeds a recovery (a successful half-open probe).
+func (p *Proxy) markPeerUp(peer *net.UDPAddr) {
+	if p.node != nil {
+		_ = p.node.MarkPeerUp(peer)
+		return
+	}
+	p.health.SetPeer(peer.String(), true)
+}
+
+// Resync re-ships this proxy's full summary state to every SC-ICP peer —
+// the full-resync path invoked wholesale after a lossy episode clears, so
+// replicas across the mesh reconverge without waiting for organic update
+// traffic. No-op in the other modes.
+func (p *Proxy) Resync() error {
+	if p.node == nil {
+		return nil
+	}
+	return p.node.ResyncPeers()
 }
 
 // Stats snapshots the counters. The values are read from the same
@@ -414,6 +658,8 @@ func (p *Proxy) Stats() Stats {
 		FalseHits:      p.metrics.falseHits.Value(),
 		OriginFetches:  p.metrics.originFetches.Value(),
 		PeerFetches:    p.metrics.peerFetches.Value(),
+		Retries:        p.metrics.retries.Value(),
+		BreakerSkips:   p.metrics.breakerSkips.Value(),
 	}
 	s.HTTPMessages = 2 * (s.ClientRequests + s.OriginFetches + s.PeerFetches)
 	switch p.cfg.Mode {
@@ -700,29 +946,68 @@ func (p *Proxy) tryRemote(ctx context.Context, target string) (body []byte, ok, 
 }
 
 func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string) (body []byte, ok bool) {
+	id := peer.String()
+	actual := "failed"
 	if tr := tracing.FromContext(ctx); tr != nil {
 		start := time.Now()
 		defer func() {
-			actual := "ok"
-			if !ok {
-				actual = "failed"
-			}
 			tr.AddSpan(tracing.Span{
 				Name:       tracing.SpanPeerFetch,
-				Peer:       peer.String(),
+				Peer:       id,
 				Start:      start,
 				DurationUS: time.Since(start).Microseconds(),
 				Actual:     actual,
 			})
 		}()
 	}
+	br := p.breakerFor(id)
+	if br != nil && !br.Allow() {
+		// The sibling's circuit is open: skip the doomed fetch and let the
+		// caller fall through to the origin (a false hit, not an error).
+		p.metrics.breakerSkips.Inc()
+		actual = "breaker_open"
+		if tr := tracing.FromContext(ctx); tr != nil {
+			tr.MarkAnomalous("breaker_open")
+		}
+		return nil, false
+	}
 	p.peerMu.RLock()
-	base := p.peerHTTP[peer.String()]
+	base := p.peerHTTP[id]
 	p.peerMu.RUnlock()
 	if base == "" {
 		return nil, false
 	}
 	p.metrics.peerFetches.Inc()
+	body, ok = p.fetchPeerOnce(ctx, base, target)
+	if br != nil {
+		if ok {
+			if br.Success() {
+				// The half-open probe delivered: restore the sibling in the
+				// health tracker (and, under SC-ICP, re-ship full state so
+				// its replica of us reconverges).
+				p.markPeerUp(peer)
+			}
+		} else if br.Failure() {
+			// Threshold crossed: under SC-ICP this also drops the sibling's
+			// summary replica, so it stops attracting nominations while dark.
+			p.markPeerDown(peer)
+		}
+	}
+	if ok {
+		actual = "ok"
+	}
+	return body, ok
+}
+
+// fetchPeerOnce issues one bounded cache-only fetch against a sibling.
+// Sibling fetches are never retried — the origin fallback is always
+// available and strictly cheaper than a second trip to a flaky sibling.
+func (p *Proxy) fetchPeerOnce(ctx context.Context, base, target string) (body []byte, ok bool) {
+	if p.fetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.fetchTimeout)
+		defer cancel()
+	}
 	u := base + CacheOnlyPath + "?url=" + url.QueryEscape(target)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -744,7 +1029,13 @@ func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string)
 	return body, true
 }
 
+// fetchOrigin fetches a document from the origin (or the parent proxy),
+// retrying retryable failures — transport errors, 5xx statuses, truncated
+// bodies — up to fetchRetries times with capped exponential backoff and
+// ±50% jitter. Each attempt is individually bounded by fetchTimeout, so a
+// hung origin costs at most (retries+1) × timeout, never a wedged handler.
 func (p *Proxy) fetchOrigin(ctx context.Context, target string) (body []byte, version int64, err error) {
+	retried := 0
 	if tr := tracing.FromContext(ctx); tr != nil {
 		start := time.Now()
 		defer func() {
@@ -753,6 +1044,7 @@ func (p *Proxy) fetchOrigin(ctx context.Context, target string) (body []byte, ve
 				Start:      start,
 				DurationUS: time.Since(start).Microseconds(),
 				Actual:     "ok",
+				Retries:    retried,
 			}
 			if err != nil {
 				s.Actual, s.Err = "failed", err.Error()
@@ -765,25 +1057,69 @@ func (p *Proxy) fetchOrigin(ctx context.Context, target string) (body []byte, ve
 	if p.cfg.ParentURL != "" {
 		fetchURL = p.cfg.ParentURL + ProxyPath + "?url=" + url.QueryEscape(target)
 	}
+	var retryable bool
+	for attempt := 0; ; attempt++ {
+		body, version, retryable, err = p.fetchOriginOnce(ctx, fetchURL)
+		if err == nil || !retryable || attempt >= p.fetchRetries {
+			return body, version, err
+		}
+		if sleepErr := p.backoff(ctx, attempt); sleepErr != nil {
+			return nil, 0, err // the client gave up; report the fetch failure
+		}
+		retried++
+		p.metrics.retries.Inc()
+	}
+}
+
+// backoff sleeps before retry number attempt+1: fetchBackoff doubled per
+// attempt (capped at maxBackoffFactor×) with ±50% jitter, so a mesh
+// recovering from a shared origin outage does not retry in lockstep. It
+// returns early with the context's error if the client goes away.
+func (p *Proxy) backoff(ctx context.Context, attempt int) error {
+	factor := int64(1) << min(attempt, 30)
+	if factor > maxBackoffFactor {
+		factor = maxBackoffFactor
+	}
+	d := time.Duration(factor) * p.fetchBackoff
+	if d > 0 {
+		d = d/2 + rand.N(d) // uniform in [0.5d, 1.5d)
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// fetchOriginOnce issues one bounded fetch attempt and classifies any
+// failure: retryable (transport error, 5xx, truncated body) or permanent
+// (any other non-200 status — a 404 will not improve on retry).
+func (p *Proxy) fetchOriginOnce(ctx context.Context, fetchURL string) (body []byte, version int64, retryable bool, err error) {
+	if p.fetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.fetchTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fetchURL, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return nil, 0, fmt.Errorf("origin status %d", resp.StatusCode)
+		return nil, 0, resp.StatusCode >= 500, fmt.Errorf("origin status %d", resp.StatusCode)
 	}
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, true, err
 	}
 	if v := resp.Header.Get("X-Doc-Version"); v != "" {
 		version, _ = strconv.ParseInt(v, 10, 64)
 	}
-	return body, version, nil
+	return body, version, false, nil
 }

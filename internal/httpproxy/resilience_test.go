@@ -1,0 +1,544 @@
+package httpproxy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"summarycache/internal/core"
+	"summarycache/internal/origin"
+)
+
+// --- breaker state machine ---
+
+func TestBreakerStateMachine(t *testing.T) {
+	const cooldown = 50 * time.Millisecond
+	b := newBreaker(3, cooldown)
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker not closed/allowing")
+	}
+	// Failures below the threshold keep it closed; a success resets the run.
+	b.Failure()
+	b.Failure()
+	if b.Success() {
+		t.Fatal("success in closed state reported a recovery")
+	}
+	b.Failure()
+	b.Failure()
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("tripped breaker still allowing")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted (half-open).
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	if b.State() != BreakerHalfOpen || b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// Failed probe: back to open, silently (peer already marked down).
+	if tripped := b.Failure(); tripped {
+		t.Fatal("failed half-open probe reported a fresh trip")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not reopen")
+	}
+
+	// Second probe succeeds: recovered.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no second probe admitted")
+	}
+	if recovered := b.Success(); !recovered {
+		t.Fatal("successful probe did not report recovery")
+	}
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("recovered breaker not closed")
+	}
+
+	// External control from the health prober.
+	b.ForceOpen()
+	if b.State() != BreakerOpen {
+		t.Fatal("ForceOpen did not open")
+	}
+	b.Reset()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("Reset did not close")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for _, s := range []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen, BreakerState(7)} {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+}
+
+// --- origin fetch retry pipeline ---
+
+// flakyOrigin serves 512-byte documents after failing the first failN
+// requests with the given status.
+type flakyOrigin struct {
+	ln    net.Listener
+	calls atomic.Int64
+}
+
+func startFlakyOrigin(t *testing.T, failN int64, failStatus int) *flakyOrigin {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyOrigin{ln: ln}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.calls.Add(1) <= failN {
+			w.WriteHeader(failStatus)
+			return
+		}
+		io.WriteString(w, strings.Repeat("x", 512))
+	})}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return f
+}
+
+func (f *flakyOrigin) url() string { return "http://" + f.ln.Addr().String() + "/doc" }
+
+func TestFetchRetriesTransient5xx(t *testing.T) {
+	f := startFlakyOrigin(t, 2, http.StatusServiceUnavailable)
+	p, err := Start(Config{
+		Mode: ModeNone, CacheBytes: 1 << 20,
+		FetchRetries: 3, FetchBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	resp, err := http.Get(p.URL() + ProxyPath + "?url=" + url.QueryEscape(f.url()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 512 {
+		t.Fatalf("status %d, %d bytes — retries did not mask the 503 burst", resp.StatusCode, len(body))
+	}
+	st := p.Stats()
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+	if st.OriginFetches != 1 {
+		t.Fatalf("OriginFetches = %d, want 1 (retries are not separate logical fetches)", st.OriginFetches)
+	}
+	if got := f.calls.Load(); got != 3 {
+		t.Fatalf("origin saw %d attempts, want 3", got)
+	}
+}
+
+func TestFetch4xxIsPermanent(t *testing.T) {
+	f := startFlakyOrigin(t, 1<<30, http.StatusNotFound) // always 404
+	p, err := Start(Config{
+		Mode: ModeNone, CacheBytes: 1 << 20,
+		FetchRetries: 3, FetchBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	resp, err := http.Get(p.URL() + ProxyPath + "?url=" + url.QueryEscape(f.url()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Fatalf("origin saw %d attempts for a 404, want 1 (no retry)", got)
+	}
+	if st := p.Stats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0", st.Retries)
+	}
+}
+
+// TestUnresponsiveOriginBounded is the regression test for the unbounded
+// fetch: an origin that accepts the connection and never answers must cost
+// at most (retries+1) × FetchTimeout, not a forever-wedged handler.
+func TestUnresponsiveOriginBounded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() { // accept and hold connections open, never responding
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	p, err := Start(Config{
+		Mode: ModeNone, CacheBytes: 1 << 20,
+		FetchTimeout: 150 * time.Millisecond,
+		FetchRetries: 1, FetchBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	start := time.Now()
+	resp, err := http.Get(p.URL() + ProxyPath + "?url=" +
+		url.QueryEscape("http://"+ln.Addr().String()+"/hang"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("unresponsive origin took %v, want bounded by per-attempt timeouts", elapsed)
+	}
+}
+
+// TestSlowHeaderClientDisconnected verifies ReadHeaderTimeout: a client
+// that connects and never finishes its request headers is cut loose
+// instead of pinning a connection.
+func TestSlowHeaderClientDisconnected(t *testing.T) {
+	p, err := Start(Config{
+		Mode: ModeNone, CacheBytes: 1 << 20,
+		ReadHeaderTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	conn, err := net.Dial("tcp", p.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a partial request line and stall.
+	if _, err := conn.Write([]byte("GET /__summarycache/pro")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must cut the connection loose shortly after the timeout
+	// (Go writes an error status first); what it must NOT do is hold the
+	// connection open waiting for the rest of the headers.
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := io.ReadAll(conn)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the slow-header connection open past ReadHeaderTimeout")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("connection closed after %v, want ≈ReadHeaderTimeout", elapsed)
+	}
+	if strings.Contains(string(reply), "200 OK") {
+		t.Fatalf("server answered a half-written request line: %q", reply)
+	}
+}
+
+// --- circuit breaker in the mesh ---
+
+// TestBreakerSkipsAsFalseHits: under classic ICP, a sibling whose ICP
+// endpoint answers HIT but whose HTTP endpoint is dark trips its breaker;
+// subsequent nominations are skipped (counted) and served from the origin
+// as false hits — clients never see an error.
+func TestBreakerSkipsAsFalseHits(t *testing.T) {
+	org, err := origin.Start(origin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { org.Close() })
+	mk := func(threshold int) *Proxy {
+		p, err := Start(Config{
+			Mode: ModeICP, CacheBytes: 8 << 20,
+			QueryTimeout:     time.Second,
+			BreakerThreshold: threshold,
+			BreakerCooldown:  time.Hour, // never half-open during this test
+			FetchBackoff:     time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	a, b := mk(1), mk(1)
+	// A records a dead HTTP endpoint for B: ICP answers flow, fetches fail.
+	deadURL := "http://127.0.0.1:1"
+	if err := a.AddPeer(b.ICPAddr(), deadURL); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(a.ICPAddr(), a.URL()); err != nil {
+		t.Fatal(err)
+	}
+
+	fetchOK := func(p *Proxy, u string) {
+		t.Helper()
+		resp, err := http.Get(p.URL() + ProxyPath + "?url=" + url.QueryEscape(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("client saw status %d: %s", resp.StatusCode, body)
+		}
+	}
+	u1 := origin.DocURL(org.URL(), "d1", 1024, 0)
+	u2 := origin.DocURL(org.URL(), "d2", 1024, 0)
+	fetchOK(b, u1) // B caches both documents
+	fetchOK(b, u2)
+
+	// First request through A: B claims HIT, fetch fails, breaker (threshold
+	// 1) trips; the request falls back to the origin and still succeeds.
+	fetchOK(a, u1)
+	if got := a.BreakerState(b.ICPAddr().String()); got != BreakerOpen {
+		t.Fatalf("breaker state after failed fetch = %v, want open", got)
+	}
+	st := a.Stats()
+	if st.FalseHits != 1 || st.PeerFetches != 1 {
+		t.Fatalf("stats after trip = %+v, want 1 false hit / 1 peer fetch", st)
+	}
+	// The trip marked B down in the health tracker.
+	if up, down := a.Health().Snapshot(); len(up) != 0 || len(down) != 1 {
+		t.Fatalf("health after trip: up=%v down=%v", up, down)
+	}
+
+	// Second request: B still answers HIT, but the open breaker skips the
+	// doomed fetch entirely — no new peer fetch, another clean false hit.
+	fetchOK(a, u2)
+	st = a.Stats()
+	if st.BreakerSkips != 1 {
+		t.Fatalf("BreakerSkips = %d, want 1", st.BreakerSkips)
+	}
+	if st.PeerFetches != 1 {
+		t.Fatalf("PeerFetches = %d, want 1 (open breaker must suppress the fetch)", st.PeerFetches)
+	}
+	if st.FalseHits != 2 {
+		t.Fatalf("FalseHits = %d, want 2", st.FalseHits)
+	}
+}
+
+// TestBreakerTripRecoverySCICP walks the full failure/recovery loop under
+// SC-ICP: a tripped breaker drops the sibling's summary replica (no more
+// nominations, health down); after the sibling resyncs and the cooldown
+// passes, the half-open probe fetch succeeds, the breaker closes, and
+// MarkPeerUp restores health and replica convergence.
+func TestBreakerTripRecoverySCICP(t *testing.T) {
+	org, err := origin.Start(origin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { org.Close() })
+	const cooldown = 100 * time.Millisecond
+	mk := func() *Proxy {
+		p, err := Start(Config{
+			Mode: ModeSCICP, CacheBytes: 8 << 20,
+			Summary:          core.DirectoryConfig{ExpectedDocs: 2000, UpdateThreshold: 0.01},
+			QueryTimeout:     time.Second,
+			BreakerThreshold: 1,
+			BreakerCooldown:  cooldown,
+			FetchBackoff:     time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	a, b := mk(), mk()
+	bID := b.ICPAddr().String()
+	// A starts with a dead HTTP endpoint for B.
+	if err := a.AddPeer(b.ICPAddr(), "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(a.ICPAddr(), a.URL()); err != nil {
+		t.Fatal(err)
+	}
+
+	fetchOK := func(p *Proxy, u string) {
+		t.Helper()
+		resp, err := http.Get(p.URL() + ProxyPath + "?url=" + url.QueryEscape(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("client saw status %d", resp.StatusCode)
+		}
+	}
+	u1 := origin.DocURL(org.URL(), "r1", 1024, 0)
+	fetchOK(b, u1)
+	b.FlushSummary()
+	waitForCandidate(t, a, u1)
+
+	// Nomination → ICP HIT → fetch against the dead endpoint → trip.
+	fetchOK(a, u1)
+	if got := a.BreakerState(bID); got != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", got)
+	}
+	// The trip dropped B's replica: no candidates, health down.
+	if c := a.node.PeerSummaries().Candidates(u1); len(c) != 0 {
+		t.Fatalf("candidates after trip = %v, want none", c)
+	}
+	if a.Health().UpCount() != 0 {
+		t.Fatal("health still up after trip")
+	}
+
+	// B comes back: fix the HTTP endpoint and resync summaries (the
+	// operational recovery path; organically B's next DIRUPDATE does this).
+	// A fresh document cached only on B carries the probe — u1 landed in
+	// A's cache during the origin fallback, so it would be a local hit.
+	u2 := origin.DocURL(org.URL(), "r2", 1024, 0)
+	fetchOK(b, u2)
+	if err := a.AddPeer(b.ICPAddr(), b.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Resync(); err != nil {
+		t.Fatal(err)
+	}
+	waitForCandidate(t, a, u2)
+	time.Sleep(cooldown + 20*time.Millisecond)
+
+	// Half-open probe: nomination admitted, fetch succeeds, circuit closes.
+	fetchOK(a, u2)
+	if got := a.BreakerState(bID); got != BreakerClosed {
+		t.Fatalf("breaker after successful probe = %v, want closed", got)
+	}
+	if a.Health().UpCount() != 1 {
+		t.Fatal("MarkPeerUp did not restore health")
+	}
+	st := a.Stats()
+	if st.RemoteHits != 1 {
+		t.Fatalf("stats after recovery = %+v, want the probe counted as a remote hit", st)
+	}
+}
+
+// TestHealthProberDrivesBreaker: the UDP health prober's down verdict
+// forces the breaker open, and its up verdict resets it — before any
+// caller-supplied OnChange observes the transition.
+func TestHealthProberDrivesBreaker(t *testing.T) {
+	org, err := origin.Start(origin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { org.Close() })
+	mk := func() *Proxy {
+		p, err := Start(Config{
+			Mode: ModeSCICP, CacheBytes: 8 << 20,
+			Summary:      core.DirectoryConfig{ExpectedDocs: 500},
+			QueryTimeout: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	t.Cleanup(func() { a.Close() })
+	bID := b.ICPAddr().String()
+	if err := a.AddPeer(b.ICPAddr(), b.URL()); err != nil {
+		t.Fatal(err)
+	}
+
+	transitions := make(chan bool, 8)
+	stop := a.StartHealthChecks(core.HealthConfig{
+		Interval:         20 * time.Millisecond,
+		Timeout:          50 * time.Millisecond,
+		FailureThreshold: 2,
+		OnChange:         func(_ *net.UDPAddr, up bool) { transitions <- up },
+	})
+	t.Cleanup(stop)
+
+	// Kill B outright: probes go unanswered, the prober marks it down, and
+	// the chained OnChange must have already forced the breaker open.
+	b.Close()
+	select {
+	case up := <-transitions:
+		if up {
+			t.Fatal("first transition was up")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("prober never marked the dead peer down")
+	}
+	if got := a.BreakerState(bID); got != BreakerOpen {
+		t.Fatalf("breaker after prober down = %v, want open", got)
+	}
+}
+
+// TestBreakerDisabled: a negative threshold turns the breaker off — fetch
+// failures never trip anything and fall back to the origin every time.
+func TestBreakerDisabled(t *testing.T) {
+	org, err := origin.Start(origin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { org.Close() })
+	mk := func() *Proxy {
+		p, err := Start(Config{
+			Mode: ModeICP, CacheBytes: 8 << 20,
+			QueryTimeout:     time.Second,
+			BreakerThreshold: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	a, b := mk(), mk()
+	if err := a.AddPeer(b.ICPAddr(), "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(a.ICPAddr(), a.URL()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		u := origin.DocURL(org.URL(), fmt.Sprintf("nd%d", i), 256, 0)
+		resp, err := http.Get(b.URL() + ProxyPath + "?url=" + url.QueryEscape(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp, err = http.Get(a.URL() + ProxyPath + "?url=" + url.QueryEscape(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	st := a.Stats()
+	if st.PeerFetches != 3 || st.BreakerSkips != 0 {
+		t.Fatalf("disabled breaker stats = %+v, want every fetch attempted", st)
+	}
+	if got := a.BreakerState(b.ICPAddr().String()); got != BreakerClosed {
+		t.Fatalf("disabled breaker reports %v", got)
+	}
+}

@@ -30,6 +30,21 @@ type Handler func(from *net.UDPAddr, m Message)
 // ErrClosed is returned by operations on a closed Conn.
 var ErrClosed = errors.New("icp: connection closed")
 
+// PacketConn is the UDP socket surface a Conn drives. *net.UDPConn
+// implements it; fault-injection wrappers (internal/faultnet) decorate it
+// to impose loss, delay, duplication and reordering on the ICP traffic
+// without the endpoint knowing.
+type PacketConn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	Close() error
+	LocalAddr() net.Addr
+}
+
+// SocketWrapper decorates the bound socket before the Conn uses it — the
+// fault-injection hook. Nil means the raw socket.
+type SocketWrapper func(PacketConn) PacketConn
+
 // reply is one routed response to an in-flight query, attributed to its
 // sender so a shared-RequestNumber fan-out can tell the peers apart.
 type reply struct {
@@ -40,7 +55,7 @@ type reply struct {
 // Conn is an ICP endpoint over UDP: it serves peer queries via a Handler
 // and issues queries with request-number matching and timeouts.
 type Conn struct {
-	pc      *net.UDPConn
+	pc      PacketConn
 	handler Handler
 
 	sent, recv, sentB, recvB, dropped, sendErrs atomic.Uint64
@@ -60,6 +75,13 @@ type Conn struct {
 // starting to serve inside the constructor would race with those
 // assignments.
 func Listen(addr string, handler Handler) (*Conn, error) {
+	return ListenWrapped(addr, handler, nil)
+}
+
+// ListenWrapped is Listen with an optional socket wrapper interposed
+// between the endpoint and the wire (fault injection; see SocketWrapper).
+// A nil wrap is the zero-overhead passthrough Listen uses.
+func ListenWrapped(addr string, handler Handler, wrap SocketWrapper) (*Conn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("icp: resolve %q: %w", addr, err)
@@ -68,8 +90,12 @@ func Listen(addr string, handler Handler) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("icp: listen %q: %w", addr, err)
 	}
+	var sock PacketConn = pc
+	if wrap != nil {
+		sock = wrap(sock)
+	}
 	c := &Conn{
-		pc:      pc,
+		pc:      sock,
 		handler: handler,
 		pending: make(map[uint32]chan reply),
 		done:    make(chan struct{}),

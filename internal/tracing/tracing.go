@@ -156,10 +156,14 @@ type Span struct {
 	// network was consulted.
 	Predicted string `json:"predicted,omitempty"`
 	// Actual is what really happened once the ICP reply or fetch resolved
-	// ("hit", "miss", "no_reply", "not_queried", "ok", "failed").
+	// ("hit", "miss", "no_reply", "not_queried", "ok", "failed",
+	// "breaker_open").
 	Actual string `json:"actual,omitempty"`
-	Err    string `json:"error,omitempty"`
-	Audit  *Audit `json:"audit,omitempty"`
+	// Retries is how many extra attempts an origin-fetch span needed after
+	// retryable failures (0 means it succeeded or died on the first try).
+	Retries int    `json:"retries,omitempty"`
+	Err     string `json:"error,omitempty"`
+	Audit   *Audit `json:"audit,omitempty"`
 }
 
 // Trace is one request's (or one answered query's) span collection. All
