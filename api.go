@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"summarycache/internal/analysis"
 	"summarycache/internal/bench"
 	"summarycache/internal/bloom"
 	"summarycache/internal/core"
@@ -609,3 +610,28 @@ type MicroResult = bench.MicroResult
 // and lock-free summary probes against frozen single-lock baselines, plus
 // SC-ICP mesh throughput.
 func RunMicro(cfg MicroConfig) (MicroResult, error) { return bench.RunMicro(cfg) }
+
+// --- static analysis (internal/analysis, cmd/sclint) ---
+
+// LintFinding is one diagnostic from the project's own analyzer; its
+// String form is the canonical "file:line: [rule] message".
+type LintFinding = analysis.Finding
+
+// The analyzer's rule names, for -rules style filtering and for matching
+// LintFinding.Rule. LintRuleLintDirective is the implicit sixth rule that
+// flags malformed //lint:ignore directives.
+const (
+	LintRuleAtomicMixing   = analysis.RuleAtomicMixing
+	LintRuleDeterminism    = analysis.RuleDeterminism
+	LintRuleStatsDrift     = analysis.RuleStatsDrift
+	LintRuleUncheckedClose = analysis.RuleUncheckedClose
+	LintRuleStrayPrinting  = analysis.RuleStrayPrinting
+	LintRuleLintDirective  = analysis.RuleLintDirective
+)
+
+// LintPackages loads every non-test package under dir (a module root or
+// any directory tree) and runs the full rule suite — the programmatic
+// form of `go run ./cmd/sclint ./...`. A nil error with a non-empty
+// slice means the tree has findings; suppressions have already been
+// applied.
+func LintPackages(dir string) ([]LintFinding, error) { return analysis.LintDir(dir) }

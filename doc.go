@@ -24,4 +24,10 @@
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation; EXPERIMENTS.md records measured-vs-published
 // values. Start with examples/quickstart.
+//
+// The tree is kept clean under the project's own analyzer (see
+// internal/analysis and README §Static analysis); CI enforces it, and
+// the generate directive below reruns the gate locally:
+//
+//go:generate go run ./cmd/sclint ./...
 package summarycache

@@ -1,0 +1,37 @@
+package analysis
+
+import "go/ast"
+
+// walkStack traverses root in source order invoking fn for every node
+// with the stack of enclosing nodes (outermost first, not including n
+// itself). The stdlib has no parent links on ast nodes; several rules
+// need "what context is this expression used in", which is exactly the
+// enclosing-node stack.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// parent returns the immediate enclosing node, or nil at the root.
+func parent(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// grandparent returns the second enclosing node, or nil.
+func grandparent(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}

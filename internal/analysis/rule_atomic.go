@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicMixingRule enforces the lock-free invariant behind the PR-3 Bloom
+// probe and sharded-LRU paths: once a memory location is touched through
+// sync/atomic, every access must go through the atomic API. Two shapes are
+// checked per package:
+//
+//  1. function-style — a struct field passed as &x.f to an atomic
+//     function (atomic.AddUint64, atomic.LoadInt32, ...) anywhere in the
+//     package must not be read or written plainly anywhere else;
+//  2. typed — a value of a typed atomic (atomic.Uint64, atomic.Bool,
+//     atomic.Pointer[T], ...) may only be used as a method receiver or
+//     have its address taken; copying, overwriting or comparing it
+//     plainly bypasses the atomic protocol (and silently copies the
+//     value out from under concurrent writers).
+type atomicMixingRule struct{}
+
+func (atomicMixingRule) Name() string { return RuleAtomicMixing }
+
+func (atomicMixingRule) Doc() string {
+	return "a field accessed via sync/atomic anywhere must never be read or written plainly elsewhere"
+}
+
+// isAtomicFunc reports whether obj is one of sync/atomic's access
+// functions (not a typed-atomic method).
+func isAtomicFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicNamed reports whether t is a typed atomic from sync/atomic
+// (atomic.Uint64, atomic.Bool, atomic.Value, instantiated
+// atomic.Pointer[T], ...).
+func isAtomicNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// atomicElem returns whether seq's element type (slice, array or map
+// value) is a typed atomic.
+func atomicElem(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isAtomicNamed(u.Elem())
+	case *types.Array:
+		return isAtomicNamed(u.Elem())
+	case *types.Map:
+		return isAtomicNamed(u.Elem())
+	}
+	return false
+}
+
+// calleeOf resolves the object a call expression invokes, seeing through
+// parenthesization. Returns nil for calls it cannot resolve (builtins,
+// function-typed variables, conversions).
+func calleeOf(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	}
+	return nil
+}
+
+// atomicArgField returns the field object when expr has the shape
+// &x.f (the first argument of every sync/atomic access function).
+func atomicArgField(pkg *Package, expr ast.Expr) *types.Var {
+	un, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+func (r atomicMixingRule) Check(pkg *Package, report ReportFunc) {
+	// Pass 1: which plain fields does this package access atomically,
+	// and where (the first site anchors the diagnostic).
+	atomicFields := map[*types.Var]token.Position{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isAtomicFunc(calleeOf(pkg, call)) {
+				return true
+			}
+			if v := atomicArgField(pkg, call.Args[0]); v != nil {
+				if _, seen := atomicFields[v]; !seen {
+					atomicFields[v] = pkg.Fset.Position(call.Pos())
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				r.checkPlainField(pkg, n, stack, atomicFields, report)
+				r.checkTypedUse(pkg, n, stack, report)
+			case *ast.IndexExpr:
+				r.checkTypedUse(pkg, n, stack, report)
+			case *ast.RangeStmt:
+				if n.Value != nil && atomicElem(pkg.Info.TypeOf(n.X)) {
+					report(n.Value.Pos(),
+						"ranging with a value variable copies each %s element out of its slot; range by index and use the atomic API",
+						pkg.Info.TypeOf(n.X))
+				}
+			}
+		})
+	}
+}
+
+// checkPlainField flags non-atomic uses of fields the package accesses
+// through sync/atomic functions elsewhere.
+func (atomicMixingRule) checkPlainField(pkg *Package, sel *ast.SelectorExpr, stack []ast.Node,
+	atomicFields map[*types.Var]token.Position, report ReportFunc) {
+	v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return
+	}
+	first, tracked := atomicFields[v]
+	if !tracked {
+		return
+	}
+	// The only sanctioned context is &x.f as the location argument of a
+	// sync/atomic call.
+	if un, ok := parent(stack).(*ast.UnaryExpr); ok && un.Op == token.AND {
+		if call, ok := grandparent(stack).(*ast.CallExpr); ok && isAtomicFunc(calleeOf(pkg, call)) {
+			return
+		}
+	}
+	report(sel.Pos(),
+		"field %s is accessed with sync/atomic at %s:%d; this plain access races with it",
+		v.Name(), filepathBase(first.Filename), first.Line)
+}
+
+// checkTypedUse flags typed-atomic values used outside the atomic API.
+func (atomicMixingRule) checkTypedUse(pkg *Package, n ast.Expr, stack []ast.Node, report ReportFunc) {
+	tv, ok := pkg.Info.Types[n]
+	if !ok || !tv.IsValue() || !isAtomicNamed(tv.Type) {
+		return
+	}
+	t := tv.Type
+	switch p := parent(stack).(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load() — n is the receiver of a method selection. Typed
+		// atomics export only methods, so any selection on n is fine.
+		if p.X == n {
+			return
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &x.f — passing the location, not the value
+		}
+	}
+	report(n.Pos(),
+		"%s value used outside its atomic API (copied, overwritten or compared plainly); use Load/Store/Add/CompareAndSwap", t)
+}
+
+// filepathBase trims a position filename to its final element for
+// compact in-message anchors.
+func filepathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// uncheckedCloseRule flags non-deferred calls to Close, Flush or Sync
+// whose error result is silently discarded in library code. At a bare
+// call statement the caller is still in a position to act on the error
+// (propagate it, log it, or at minimum write `_ =` to mark the drop
+// deliberate); silently losing it hides failed resource teardown — the
+// class of bug behind half-flushed journals and leaked sockets.
+//
+// Deliberately exempt:
+//   - defer f.Close() — at unwind time there is no error path left, and
+//     the idiom is ubiquitous; flagging it would bury real findings;
+//   - _ = f.Close() — the drop is explicit and greppable;
+//   - main packages (cmd/, examples/) — process exit is the handler;
+//   - methods whose signature returns no error (csv.Writer.Flush).
+type uncheckedCloseRule struct{}
+
+func (uncheckedCloseRule) Name() string { return RuleUncheckedClose }
+
+func (uncheckedCloseRule) Doc() string {
+	return "non-deferred Close/Flush/Sync calls in library code must not silently discard their error"
+}
+
+var closeLikeNames = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+// returnsError reports whether fn's final result is the error type.
+func returnsError(fn *types.Func) bool {
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+func (uncheckedCloseRule) Check(pkg *Package, report ReportFunc) {
+	if pkg.IsMain() {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Only bare call *statements* discard results; defer/go are
+			// distinct statement kinds and fall outside this match.
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !closeLikeNames[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !returnsError(fn) {
+				return true
+			}
+			report(call.Pos(),
+				"error from %s.%s is silently discarded; handle it or assign to _ to make the drop explicit",
+				types.ExprString(sel.X), sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinismRule guards the PR-4 replay contract: internal/faultnet,
+// internal/sim and internal/bench re-run scenarios from a seed, and a
+// replay must make bit-identical decisions. Three nondeterminism leaks
+// are flagged inside those packages:
+//
+//   - time.Now — wall-clock reads differ between runs; replay code takes
+//     timestamps from the scenario, and genuine wall-clock measurement
+//     (benchmark throughput timing) carries a //lint:ignore with a
+//     reason;
+//   - math/rand and math/rand/v2 package-level generator functions
+//     (rand.Intn, rand.Float64, rand.Shuffle, ...) — the global
+//     generator is shared, unseeded state; constructors (rand.New,
+//     rand.NewSource, rand.NewPCG, rand.NewZipf, ...) are the approved
+//     route to a seeded per-stream generator and stay legal;
+//   - ranging over a map — iteration order changes run to run; iterate
+//     a sorted key slice instead (or suppress where the loop provably
+//     commutes).
+type determinismRule struct{}
+
+// determinismPaths are the import-path suffixes the rule applies to: the
+// module's replay packages (matching by suffix also lets fixture
+// universes opt in by directory layout).
+var determinismPaths = []string{"internal/faultnet", "internal/sim", "internal/bench"}
+
+func (determinismRule) Name() string { return RuleDeterminism }
+
+func (determinismRule) Doc() string {
+	return "replay packages (faultnet, sim, bench) must derive all randomness and ordering from seeded state"
+}
+
+func (determinismRule) applies(pkg *Package) bool {
+	for _, s := range determinismPaths {
+		if pkg.Path == s || strings.HasSuffix(pkg.Path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructor reports package-level math/rand functions that build
+// seeded generators rather than consult the global one.
+func randConstructor(name string) bool { return strings.HasPrefix(name, "New") }
+
+func (r determinismRule) Check(pkg *Package, report ReportFunc) {
+	if !r.applies(pkg) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn, ok := calleeOf(pkg, n).(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods (e.g. on a seeded *rand.Rand) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" {
+						report(n.Pos(),
+							"time.Now in a replay path; derive timestamps from the seeded scenario (suppress for wall-clock measurement)")
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructor(fn.Name()) {
+						report(n.Pos(),
+							"%s.%s consults the shared global generator; use a seeded *rand.Rand (rand.New(rand.NewPCG(seed, stream)))",
+							fn.Pkg().Name(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						report(n.Pos(),
+							"map iteration order is nondeterministic in a replay path; iterate a sorted key slice")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

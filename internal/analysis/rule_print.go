@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// strayPrintingRule keeps process streams out of library code: only main
+// packages (cmd/, examples/) may print. Libraries report through
+// log/slog (internal/obs events) so output is structured, leveled and
+// routable; a stray fmt.Print in a hot path is also an allocation and a
+// mutex on os.Stdout. Writer-directed forms (fmt.Fprintf(w, ...)) stay
+// legal — the destination is explicit.
+type strayPrintingRule struct{}
+
+func (strayPrintingRule) Name() string { return RuleStrayPrinting }
+
+func (strayPrintingRule) Doc() string {
+	return "fmt.Print*/log.Print*/println are forbidden outside main packages; library code uses slog/obs"
+}
+
+// printFuncs maps package path → forbidden package-level functions.
+var printFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+func (strayPrintingRule) Check(pkg *Package, report ReportFunc) {
+	if pkg.IsMain() {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch callee := calleeOf(pkg, call).(type) {
+			case *types.Func:
+				if callee.Pkg() != nil && printFuncs[callee.Pkg().Path()][callee.Name()] {
+					report(call.Pos(),
+						"%s.%s writes to a process stream from library code; emit a structured slog/obs event instead",
+						callee.Pkg().Name(), callee.Name())
+				}
+			case *types.Builtin:
+				if name := callee.Name(); name == "print" || name == "println" {
+					report(call.Pos(),
+						"builtin %s writes to stderr from library code; emit a structured slog/obs event instead", name)
+				}
+			}
+			return true
+		})
+	}
+}

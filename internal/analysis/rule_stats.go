@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// statsDriftRule enforces the PR-1 contract that a Stats() snapshot and a
+// /metrics scrape read the same instruments: every *plain counter* a
+// package registers against an obs.Registry (reg.Counter with a
+// "summarycache_*" literal) must surface as an exported field of one of
+// the package's exported ...Stats structs.
+//
+// Scope is deliberately narrow so the rule stays true:
+//   - only reg.Counter registrations are checked — CounterFunc/GaugeFunc
+//     re-export state owned elsewhere (the inverse direction of the
+//     contract), gauges are instantaneous, histograms have no scalar
+//     field form;
+//   - a package with no exported Stats struct (e.g. internal/tracing,
+//     whose counters are exposition-only by design) is skipped entirely;
+//   - the metric name is normalized (strip "summarycache_", the
+//     component prefix word, and the "_total" suffix; CamelCase the
+//     rest) and must match a field exactly or as a field-name suffix,
+//     so "requests" matches ClientRequests.
+type statsDriftRule struct{}
+
+func (statsDriftRule) Name() string { return RuleStatsDrift }
+
+func (statsDriftRule) Doc() string {
+	return "every plain counter registered with obs must have a matching exported field in the package's Stats struct"
+}
+
+// statsFields collects the exported field names of every exported struct
+// type in the package whose name is "Stats" or ends in "Stats".
+func statsFields(pkg *Package) (names map[string]bool, structs []string) {
+	if pkg.Types == nil {
+		return nil, nil
+	}
+	names = map[string]bool{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || !strings.HasSuffix(tn.Name(), "Stats") {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		structs = append(structs, tn.Name())
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Exported() {
+				names[f.Name()] = true
+			}
+		}
+	}
+	sort.Strings(structs)
+	return names, structs
+}
+
+// metricFieldName normalizes a registered metric name to the exported
+// field it should correspond to: summarycache_node_queries_sent_total →
+// QueriesSent (prefix, component word and _total suffix stripped, rest
+// CamelCased).
+func metricFieldName(metric string) string {
+	name := strings.TrimPrefix(metric, "summarycache_")
+	words := strings.Split(name, "_")
+	if len(words) > 1 && words[len(words)-1] == "total" {
+		words = words[:len(words)-1]
+	}
+	if len(words) > 1 {
+		words = words[1:] // drop the component prefix (proxy_, node_, ...)
+	}
+	var b strings.Builder
+	for _, w := range words {
+		if w == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(w[:1]))
+		b.WriteString(w[1:])
+	}
+	return b.String()
+}
+
+// isObsCounterCall reports whether call is reg.Counter(...) on an
+// obs.Registry (matched by package name + receiver type name, so fixture
+// universes can supply their own obs shape).
+func isObsCounterCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Counter" || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && strings.Contains(recv.Type().String(), "Registry")
+}
+
+func (statsDriftRule) Check(pkg *Package, report ReportFunc) {
+	fields, structs := statsFields(pkg)
+	if len(structs) == 0 {
+		return // no Stats contract in this package — nothing to drift from
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isObsCounterCall(pkg, call) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			metric, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(metric, "summarycache_") {
+				return true
+			}
+			want := metricFieldName(metric)
+			for name := range fields {
+				if name == want || strings.HasSuffix(name, want) {
+					return true
+				}
+			}
+			report(lit.Pos(),
+				"counter %q has no matching exported field (looked for %q, or a field ending in it, on %s); Stats() and the scrape have drifted",
+				metric, want, strings.Join(structs, ", "))
+			return true
+		})
+	}
+}

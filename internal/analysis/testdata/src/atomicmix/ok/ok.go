@@ -1,0 +1,48 @@
+// Package ok is the atomic-mixing negative fixture: disciplined atomic
+// use and ordinary plain fields, none of it flagged.
+package ok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct {
+	n     atomic.Int64
+	words []atomic.Uint64
+}
+
+func (g *gauge) inc()                { g.n.Add(1) }
+func (g *gauge) read() int64         { return g.n.Load() }
+func (g *gauge) probe(i int) uint64  { return g.words[i].Load() }
+func (g *gauge) addr() *atomic.Int64 { return &g.n }
+func (g *gauge) grow(n int)          { g.words = make([]atomic.Uint64, n) }
+
+func (g *gauge) sum() uint64 {
+	var t uint64
+	for i := range g.words { // index-only range: no element copy
+		t += g.words[i].Load()
+	}
+	return t
+}
+
+// plain is never touched atomically, so mutex-guarded plain access is fine.
+type plain struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (p *plain) inc() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// fnStyle uses function-style atomics consistently: every access goes
+// through the sync/atomic API.
+type fnStyle struct{ n uint64 }
+
+func (f *fnStyle) inc() uint64 {
+	atomic.AddUint64(&f.n, 1)
+	return atomic.LoadUint64(&f.n)
+}

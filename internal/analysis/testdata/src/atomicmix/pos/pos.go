@@ -1,0 +1,39 @@
+// Package pos is the atomic-mixing positive fixture: every construct
+// here mixes atomic and plain access and must be flagged.
+package pos
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  uint64        // accessed via atomic.AddUint64 in hot()
+	v  atomic.Uint64 // typed atomic
+}
+
+func (c *counter) hot() { atomic.AddUint64(&c.n, 1) }
+
+func (c *counter) slow() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++      // want atomic-mixing: plain write of an atomically accessed field
+	return c.n // want atomic-mixing: plain read of an atomically accessed field
+}
+
+func (c *counter) reset() {
+	c.v = atomic.Uint64{} // want atomic-mixing: plain overwrite of a typed atomic
+}
+
+func (c *counter) snapshot() atomic.Uint64 {
+	return c.v // want atomic-mixing: copying a typed atomic value
+}
+
+func sweep(words []atomic.Uint64) uint64 {
+	var total uint64
+	for _, w := range words { // want atomic-mixing: range value copies each element
+		total += w.Load()
+	}
+	return total
+}

@@ -1,0 +1,35 @@
+// Package ok is the unchecked-close negative fixture: every sanctioned
+// way of handling (or explicitly dropping) a close error.
+package ok
+
+type handle struct{}
+
+func (handle) Close() error { return nil }
+
+type flusher struct{}
+
+// Flush returns nothing, so ignoring it cannot lose an error.
+func (flusher) Flush() {}
+
+func fine() error {
+	var h handle
+	defer h.Close() // deferred: distinct statement kind, exempt by design
+	_ = h.Close()   // explicit drop: the author made a decision
+	if err := h.Close(); err != nil {
+		return err
+	}
+	var f flusher
+	f.Flush() // no error result: nothing to check
+	return nil
+}
+
+func folded() error {
+	var h handle
+	err := doWork()
+	if cerr := h.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func doWork() error { return nil }

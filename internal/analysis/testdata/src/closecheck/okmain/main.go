@@ -1,0 +1,16 @@
+// Command okmain shows that main packages are exempt from the
+// unchecked-close and stray-printing rules: a CLI's teardown and output
+// belong to it.
+package main
+
+import "fmt"
+
+type handle struct{}
+
+func (handle) Close() error { return nil }
+
+func main() {
+	var h handle
+	h.Close()
+	fmt.Println("done")
+}

@@ -1,0 +1,16 @@
+// Package pos is the unchecked-close positive fixture: error-returning
+// Close/Flush/Sync calls whose results are silently dropped.
+package pos
+
+type handle struct{}
+
+func (handle) Close() error { return nil }
+func (handle) Flush() error { return nil }
+func (handle) Sync() error  { return nil }
+
+func leak() {
+	var h handle
+	h.Close() // want unchecked-close
+	h.Flush() // want unchecked-close
+	h.Sync()  // want unchecked-close
+}

@@ -1,0 +1,28 @@
+// Package sim sits on a determinism-scoped path (suffix internal/sim):
+// every nondeterminism leak here must be flagged.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type replay struct{ seeds map[string]int64 }
+
+func (r *replay) step() int64 {
+	t := time.Now().UnixNano() // want determinism: wall clock in a replay path
+	var total int64
+	for _, s := range r.seeds { // want determinism: map iteration order
+		total += s
+	}
+	total += int64(rand.Intn(10)) // want determinism: global generator
+	return t + total
+}
+
+// seeded is the approved pattern: constructors build a per-stream
+// generator from an explicit seed; *rand.Rand methods are methods, not
+// global functions.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

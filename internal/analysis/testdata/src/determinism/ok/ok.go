@@ -1,0 +1,20 @@
+// Package ok uses the very constructs the determinism rule flags — but
+// lives outside the scoped replay paths, so none of them is reported.
+package ok
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() int64 { return time.Now().UnixNano() }
+
+func roll() int { return rand.Intn(6) }
+
+func keys(m map[string]int) int {
+	var n int
+	for range m {
+		n++
+	}
+	return n
+}

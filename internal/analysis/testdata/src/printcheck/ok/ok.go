@@ -1,0 +1,21 @@
+// Package ok is the stray-printing negative fixture: writing to an
+// explicit destination is fine; only ambient stdout/stderr printing is
+// a smell in library code.
+package ok
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+func render(w io.Writer, n int) {
+	fmt.Fprintf(w, "n=%d\n", n)
+	fmt.Fprintln(w, "done")
+}
+
+func format(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", n)
+	return b.String() + fmt.Sprintf(" (%d)", n)
+}

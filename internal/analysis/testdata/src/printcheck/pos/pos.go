@@ -1,0 +1,15 @@
+// Package pos is the stray-printing positive fixture: library code
+// writing straight to stdout/stderr.
+package pos
+
+import (
+	"fmt"
+	"log"
+)
+
+func noisy(n int) {
+	fmt.Println("summary rebuilt") // want stray-printing
+	fmt.Printf("n=%d\n", n)        // want stray-printing
+	log.Printf("n=%d", n)          // want stray-printing
+	println("debug leftover")      // want stray-printing
+}

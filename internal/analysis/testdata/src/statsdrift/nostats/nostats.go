@@ -1,0 +1,11 @@
+// Package nostats registers counters but exports no Stats struct, so
+// the stats-drift rule skips it entirely (mirrors internal/tracing).
+package nostats
+
+import "statsdrift/obs"
+
+type metrics struct{ spans *obs.Counter }
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{spans: reg.Counter("summarycache_nostats_spans_started_total", "no Stats struct here", nil)}
+}

@@ -1,0 +1,36 @@
+// Package obs is a miniature stand-in for the real metrics registry,
+// just enough surface for the stats-drift rule to recognise
+// reg.Counter(...) registrations in the sibling fixtures.
+package obs
+
+// Label is one metric dimension.
+type Label struct{ Name, Value string }
+
+// Labels is the label set attached at registration time.
+type Labels []Label
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ n uint64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Registry registers metrics by name.
+type Registry struct{}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	_ = name
+	_ = help
+	_ = labels
+	return &Counter{}
+}
+
+// CounterFunc registers a callback-backed counter; the stats-drift rule
+// deliberately ignores it.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	_ = name
+	_ = help
+	_ = labels
+	_ = fn
+}

@@ -1,0 +1,25 @@
+// Package ok is the stats-drift negative fixture: every registered
+// counter has a matching exported Stats field, including a suffix match
+// ("requests" → ClientRequests).
+package ok
+
+import "statsdrift/obs"
+
+// Stats mirrors every registered counter.
+type Stats struct {
+	QueriesSent    uint64
+	ClientRequests uint64
+}
+
+type metrics struct {
+	queries  *obs.Counter
+	requests *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	reg.CounterFunc("summarycache_ok_untracked_total", "callback-backed; rule skips CounterFunc", nil, func() uint64 { return 0 })
+	return metrics{
+		queries:  reg.Counter("summarycache_ok_queries_sent_total", "exact field match", nil),
+		requests: reg.Counter("summarycache_ok_requests_total", "suffix field match", nil),
+	}
+}

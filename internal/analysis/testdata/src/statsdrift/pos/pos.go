@@ -1,0 +1,23 @@
+// Package pos is the stats-drift positive fixture: it exports a Stats
+// struct, registers two counters, and only one of them has a matching
+// Stats field.
+package pos
+
+import "statsdrift/obs"
+
+// Stats is the exported snapshot; FramesDropped is deliberately absent.
+type Stats struct {
+	QueriesSent uint64
+}
+
+type metrics struct {
+	queries *obs.Counter
+	dropped *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		queries: reg.Counter("summarycache_pos_queries_sent_total", "queries sent", nil),
+		dropped: reg.Counter("summarycache_pos_frames_dropped_total", "frames dropped", nil), // want stats-drift
+	}
+}

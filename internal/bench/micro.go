@@ -106,6 +106,7 @@ func measure(workers int, d time.Duration, op func(worker, i int)) MicroMeasurem
 	counts := make([]uint64, workers)
 	samples := make([][]time.Duration, workers)
 	var wg sync.WaitGroup
+	//lint:ignore sclint/determinism wall-clock timing is what measure() exists to produce
 	start := time.Now()
 	timer := time.AfterFunc(d, func() { stop.Store(true) })
 	defer timer.Stop()
@@ -116,6 +117,7 @@ func measure(workers int, d time.Duration, op func(worker, i int)) MicroMeasurem
 			var n uint64
 			for i := 0; !stop.Load(); i++ {
 				if i%latSampleEvery == 0 {
+					//lint:ignore sclint/determinism sampled op latency is the measurement itself
 					t0 := time.Now()
 					op(w, i)
 					samples[w] = append(samples[w], time.Since(t0))

@@ -220,7 +220,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.MulticastGroup != "" {
 		mg, err := icp.JoinMulticast(cfg.MulticastGroup, cfg.MulticastInterface, n.handleMulticast)
 		if err != nil {
-			conn.Close()
+			_ = conn.Close() // the join failure is the error worth reporting
 			return nil, err
 		}
 		n.mcast = mg
@@ -229,7 +229,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.TCPUpdateAddr != "" {
 		srv, err := icp.ListenTCP(cfg.TCPUpdateAddr, n.handleTCPUpdate)
 		if err != nil {
-			n.Close()
+			_ = n.Close() // the listen failure is the error worth reporting
 			return nil, err
 		}
 		n.tcpSrv = srv
@@ -416,18 +416,25 @@ func (n *Node) Close() error {
 		if n.stopTimer != nil {
 			close(n.stopTimer)
 		}
+		// Every endpoint is torn down regardless of earlier failures; the
+		// first error is what all Close callers observe.
+		record := func(err error) {
+			if n.closeErr == nil {
+				n.closeErr = err
+			}
+		}
 		if n.mcast != nil {
-			n.mcast.Close()
+			record(n.mcast.Close())
 		}
 		if n.tcpSrv != nil {
-			n.tcpSrv.Close()
+			record(n.tcpSrv.Close())
 		}
 		n.tcpMu.Lock()
 		for _, c := range n.tcpPeers {
-			c.Close()
+			record(c.Close())
 		}
 		n.tcpMu.Unlock()
-		n.closeErr = n.conn.Close()
+		record(n.conn.Close())
 	})
 	return n.closeErr
 }
@@ -519,7 +526,7 @@ func (n *Node) RemovePeer(addr *net.UDPAddr) {
 	n.health.RemovePeer(addr.String())
 	n.tcpMu.Lock()
 	if c := n.tcpPeers[addr.String()]; c != nil {
-		c.Close()
+		_ = c.Close() // the peer is being forgotten; its channel error with it
 		delete(n.tcpPeers, addr.String())
 	}
 	n.tcpMu.Unlock()

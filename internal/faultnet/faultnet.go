@@ -35,14 +35,14 @@ type Verdict uint8
 
 // The possible fates of one datagram or HTTP request.
 const (
-	Pass      Verdict = iota // deliver normally
-	Drop                     // silently lose the datagram
-	Duplicate                // deliver twice (UDP outbound only)
-	Delay                    // deliver late (outbound: later sends overtake it)
-	ConnectFail              // HTTP: fail as if the connection was refused
-	Stall                    // HTTP: sit silent before proceeding (trips caller timeouts)
-	Truncate                 // HTTP: cut the response body short mid-stream
-	Err5xx                   // HTTP: answer 503 instead of forwarding
+	Pass        Verdict = iota // deliver normally
+	Drop                       // silently lose the datagram
+	Duplicate                  // deliver twice (UDP outbound only)
+	Delay                      // deliver late (outbound: later sends overtake it)
+	ConnectFail                // HTTP: fail as if the connection was refused
+	Stall                      // HTTP: sit silent before proceeding (trips caller timeouts)
+	Truncate                   // HTTP: cut the response body short mid-stream
+	Err5xx                     // HTTP: answer 503 instead of forwarding
 )
 
 // String implements fmt.Stringer.
@@ -486,7 +486,9 @@ func (t *truncatedBody) Read(p []byte) (int, error) {
 	if t.remaining <= 0 {
 		if !t.failed {
 			t.failed = true
-			t.rc.Close()
+			// The injected truncation is the error being delivered; the
+			// underlying body's close error is noise beside it.
+			_ = t.rc.Close()
 		}
 		return 0, io.ErrUnexpectedEOF
 	}

@@ -418,7 +418,7 @@ func Start(cfg Config) (*Proxy, error) {
 	case ModeICP:
 		conn, err := icp.ListenWrapped(cfg.ICPAddr, p.handleICP, sockWrap)
 		if err != nil {
-			ln.Close()
+			_ = ln.Close() // the ICP listen failure is the error worth reporting
 			return nil, err
 		}
 		p.icpConn = conn
@@ -436,12 +436,12 @@ func Start(cfg Config) (*Proxy, error) {
 			Tracer:            cfg.Tracer,
 		})
 		if err != nil {
-			ln.Close()
+			_ = ln.Close() // the node startup failure is the error worth reporting
 			return nil, err
 		}
 		p.node = node
 	default:
-		ln.Close()
+		_ = ln.Close() // the unknown-mode error is the one worth reporting
 		return nil, fmt.Errorf("httpproxy: unknown mode %v", cfg.Mode)
 	}
 	if p.node == nil {
@@ -522,19 +522,27 @@ func (p *Proxy) StartHealthChecks(cfg core.HealthConfig) (stop func()) {
 	return p.node.StartHealthChecks(cfg)
 }
 
-func (p *Proxy) closeProtocol() {
+func (p *Proxy) closeProtocol() error {
+	var firstErr error
 	if p.icpConn != nil {
-		p.icpConn.Close()
+		firstErr = p.icpConn.Close()
 	}
 	if p.node != nil {
-		p.node.Close()
+		if err := p.node.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
 }
 
-// Close shuts the proxy down.
+// Close shuts the proxy down. Both the HTTP listener and the protocol
+// endpoint are torn down regardless of errors; the first failure is
+// reported.
 func (p *Proxy) Close() error {
 	err := p.srv.Close()
-	p.closeProtocol()
+	if perr := p.closeProtocol(); err == nil {
+		err = perr
+	}
 	return err
 }
 

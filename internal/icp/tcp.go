@@ -91,7 +91,8 @@ func (s *TCPServer) Stats() Stats {
 	return Stats{Received: s.recv.Load(), RecvBytes: s.recvB.Load(), Dropped: s.dropped.Load()}
 }
 
-// Close stops accepting and closes all connections.
+// Close stops accepting and closes all connections, reporting the first
+// teardown error (the listener's close still runs either way).
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -99,11 +100,17 @@ func (s *TCPServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	var firstErr error
 	for c := range s.conns {
-		c.Close()
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	s.mu.Unlock()
-	return s.ln.Close()
+	if err := s.ln.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 func (s *TCPServer) acceptLoop() {
@@ -115,7 +122,7 @@ func (s *TCPServer) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // already shut down; nothing to do with the error
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -129,7 +136,7 @@ func (s *TCPServer) serve(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		conn.Close()
+		_ = conn.Close() // unwinding; no error path left
 	}()
 	br := bufio.NewReader(conn)
 	from, _ := conn.RemoteAddr().(*net.TCPAddr)
@@ -251,7 +258,7 @@ func (c *TCPClient) SendContext(ctx context.Context, m Message) error {
 			c.sentB.Add(uint64(n))
 			return nil
 		}
-		c.conn.Close()
+		_ = c.conn.Close() // write already failed; that error wins
 		c.conn = nil
 		if attempt == 1 || ctx.Err() != nil {
 			c.sendErrs.Add(1)

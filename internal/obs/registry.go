@@ -210,6 +210,17 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 	return s.hist
 }
 
+// Names returns the sorted names of every metric family ever registered,
+// whether or not it has been scraped. This is the ground truth the
+// Stats()==scrape parity tests diff the exposition against.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}
+
 // snapshot returns families and series in deterministic (sorted) order for
 // exposition, under the read lock. Series values are read outside the lock
 // by the writers; the instruments themselves are atomic.

@@ -186,6 +186,7 @@ func (s *serverNameSummary) probe(k probeKey) bool {
 // memoryBytes: the name bytes plus small per-entry overhead.
 func (s *serverNameSummary) memoryBytes() uint64 {
 	var b uint64
+	//lint:ignore sclint/determinism summation commutes; iteration order cannot change the total
 	for name := range s.published {
 		b += uint64(len(name)) + 8
 	}
