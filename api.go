@@ -20,6 +20,7 @@ import (
 	"summarycache/internal/httpproxy"
 	"summarycache/internal/icp"
 	"summarycache/internal/lru"
+	"summarycache/internal/meshhealth"
 	"summarycache/internal/obs"
 	"summarycache/internal/origin"
 	"summarycache/internal/sim"
@@ -39,6 +40,10 @@ type DirectoryConfig = core.DirectoryConfig
 
 // PeerTable holds replicas of neighbors' summaries.
 type PeerTable = core.PeerTable
+
+// PeerHealth is the mesh-health snapshot of one peer's summary replica:
+// fill ratio, estimated false-positive rate, update ages and byte counts.
+type PeerHealth = core.PeerHealth
 
 // Node is a summary-cache enhanced ICP endpoint.
 type Node = core.Node
@@ -154,6 +159,11 @@ func NewCache(cfg CacheConfig) (*Cache, error) { return lru.NewCache(cfg) }
 
 // MustNewCache is NewCache, panicking on error.
 func MustNewCache(cfg CacheConfig) *Cache { return lru.MustNewCache(cfg) }
+
+// CacheShardStats snapshots one cache stripe: occupancy, capacity, and
+// the recency-clock and lock-contention counters behind the per-shard
+// /metrics series.
+type CacheShardStats = lru.ShardStats
 
 // NewCacheWithCapacity creates a document cache with a positional capacity.
 //
@@ -300,6 +310,36 @@ func NewHealth() *Health { return obs.NewHealth() }
 // /debug/pprof/, /healthz when health is non-nil, plus any extra mounts.
 func NewAdminHandler(r *Registry, health *Health, mounts ...Mount) http.Handler {
 	return obs.NewHandler(r, health, mounts...)
+}
+
+// RegisterRuntimeMetrics exposes Go runtime health at /metrics —
+// mutex-wait seconds (runtime/metrics), goroutine count and GC cycles —
+// so shard-lock contention inside the process is visible next to the
+// cache's own contention counters.
+func RegisterRuntimeMetrics(r *Registry) { obs.RegisterRuntimeMetrics(r) }
+
+// --- mesh-health observability (internal/meshhealth) ---
+
+// MeshReport is one proxy's full mesh-health view: local advertisement
+// staleness, per-peer replica health and decision taxonomy, and the
+// recent false decisions with trace IDs. Proxy.MeshReport builds one.
+type MeshReport = meshhealth.Report
+
+// MeshPeerReport is one peer's row in a MeshReport.
+type MeshPeerReport = meshhealth.PeerReport
+
+// PeerDecisionStats counts the paper's decision taxonomy against one
+// peer: nominations, remote hits, false hits, false misses, stale hits.
+type PeerDecisionStats = meshhealth.PeerStats
+
+// FalseDecision is one recorded false hit / false miss / stale hit, with
+// the trace ID when tracing sampled the request.
+type FalseDecision = meshhealth.FalseDecision
+
+// NewMeshHandler serves mesh-health reports at /debug/mesh as HTML or
+// JSON (?format=json). Proxy.MeshHandler wires one to a live proxy.
+func NewMeshHandler(reports func() []MeshReport) http.Handler {
+	return meshhealth.NewHandler(reports)
 }
 
 // --- distributed tracing (internal/tracing) ---
@@ -610,6 +650,27 @@ type MicroResult = bench.MicroResult
 // and lock-free summary probes against frozen single-lock baselines, plus
 // SC-ICP mesh throughput.
 func RunMicro(cfg MicroConfig) (MicroResult, error) { return bench.RunMicro(cfg) }
+
+// MicroDiff is a scenario-by-scenario comparison of two microbenchmark
+// runs (cmd/proxybench -benchdiff).
+type MicroDiff = bench.MicroDiff
+
+// MicroDelta is one scenario's old-vs-new comparison in a MicroDiff.
+type MicroDelta = bench.MicroDelta
+
+// DiffMicro pairs two runs' scenarios by name; scenarios present in only
+// one run are reported, not dropped.
+func DiffMicro(old, new MicroResult) MicroDiff { return bench.DiffMicro(old, new) }
+
+// LoadMicroResult reads a committed BENCH_*.json microbenchmark report.
+func LoadMicroResult(path string) (MicroResult, error) { return bench.LoadMicroResult(path) }
+
+// LatestBenchFile returns the lexically last BENCH_*.json in dir — the
+// most recent committed baseline under the BENCH_PR<n>.json convention —
+// skipping any file whose base name is in exclude.
+func LatestBenchFile(dir string, exclude ...string) (string, error) {
+	return bench.LatestBenchFile(dir, exclude...)
+}
 
 // --- static analysis (internal/analysis, cmd/sclint) ---
 

@@ -10,7 +10,10 @@
 // -experiment=micro runs the concurrent-load microbenchmarks (sharded LRU
 // and lock-free summary probes against the frozen single-lock baselines,
 // plus SC-ICP mesh throughput) and writes the results as JSON to -out
-// (default BENCH_PR3.json).
+// (default BENCH_PR3.json). -benchdiff runs them and diffs the fresh
+// numbers against the latest committed BENCH_*.json, exiting non-zero
+// when any scenario falls below -benchdiff-floor (it only writes -out
+// when given explicitly).
 //
 // With -admin set, an observability endpoint serves live /metrics,
 // /debug/vars and /debug/pprof/ for every proxy in the running mesh —
@@ -38,6 +41,8 @@ var (
 	experiment = flag.String("experiment", "all", "experiment: all, table2, table4, table5, micro (micro is not part of all)")
 	microOut   = flag.String("out", "BENCH_PR3.json", "output path for -experiment=micro JSON results")
 	microDur   = flag.Duration("micro-duration", 500*time.Millisecond, "per-scenario duration for -experiment=micro")
+	benchdiff  = flag.Bool("benchdiff", false, "run the microbenchmarks and diff them against the latest committed BENCH_*.json; exits non-zero when a scenario regresses below -benchdiff-floor")
+	diffFloor  = flag.Float64("benchdiff-floor", 0.95, "minimum acceptable new/old ops-per-sec ratio for -benchdiff")
 	latency    = flag.Duration("latency", 20*time.Millisecond, "origin latency (paper: 1s)")
 	clients    = flag.Int("clients", 30, "clients per proxy (paper: 30)")
 	requests   = flag.Int("requests", 200, "requests per client (paper: 200)")
@@ -63,6 +68,7 @@ func tracingOn() bool { return *traceRate > 0 || *traceBuf > 0 }
 
 func newRunRegistry() *sc.Registry {
 	reg := sc.NewRegistry()
+	sc.RegisterRuntimeMetrics(reg)
 	current.Store(reg)
 	if tracingOn() {
 		currentTracer.Store(sc.NewTracer(sc.TracerConfig{
@@ -139,7 +145,7 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (%s)\n", ln.Addr(), endpoints)
 	}
-	if *experiment == "micro" {
+	if *experiment == "micro" || *benchdiff {
 		return micro()
 	}
 	want := func(n string) bool { return *experiment == "all" || *experiment == n }
@@ -206,6 +212,19 @@ func table2(hitRatio float64) error {
 }
 
 func micro() error {
+	// Resolve the committed baseline before running, so a -benchdiff run
+	// that writes its own BENCH_*.json cannot diff against itself.
+	var committed string
+	var old sc.MicroResult
+	if *benchdiff {
+		var err error
+		if committed, err = sc.LatestBenchFile(".", *microOut); err != nil {
+			return fmt.Errorf("-benchdiff: %w", err)
+		}
+		if old, err = sc.LoadMicroResult(committed); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(os.Stderr, "running hot-path microbenchmarks at GOMAXPROCS=%d...\n", runtime.GOMAXPROCS(0))
 	res, err := sc.RunMicro(sc.MicroConfig{Duration: *microDur})
 	if err != nil {
@@ -224,14 +243,35 @@ func micro() error {
 			s.Name, s.Goroutines, s.Current.OpsPerSec, s.Current.P99Micros, base, basep99, speedup)
 	}
 	w.Flush()
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
+	// In -benchdiff mode the JSON is only written when -out was given
+	// explicitly; a plain diff run must not clobber the committed baseline.
+	outSet := !*benchdiff
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if outSet {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*microOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *microOut)
 	}
-	if err := os.WriteFile(*microOut, append(data, '\n'), 0o644); err != nil {
-		return err
+	if *benchdiff {
+		d := sc.DiffMicro(old, res)
+		fmt.Printf("== diff vs %s ==\n%s", committed, d.Format())
+		if regs := d.Regressions(*diffFloor); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "regression: %s (%.2fx < %.2fx)\n", r.Name, r.GatedRatio(), *diffFloor)
+			}
+			return fmt.Errorf("%d scenario(s) below the %.2fx floor vs %s", len(regs), *diffFloor, committed)
+		}
+		fmt.Fprintf(os.Stderr, "all scenarios within noise of %s (floor %.2fx)\n", committed, *diffFloor)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *microOut)
 	return nil
 }
 

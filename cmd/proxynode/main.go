@@ -14,9 +14,10 @@
 //
 // The -admin listener serves the observability plane: Prometheus metrics
 // at /metrics, expvar-style JSON at /debug/vars, pprof profiles at
-// /debug/pprof/, peer-health (with build info) at /healthz, and — when
-// -trace-sample or -trace-buffer enables tracing — request traces with
-// summary-decision audits at /debug/traces.
+// /debug/pprof/, peer-health (with build info) at /healthz, mesh health
+// (per-peer summary divergence and false-decision accounting) at
+// /debug/mesh, and — when -trace-sample or -trace-buffer enables
+// tracing — request traces with summary-decision audits at /debug/traces.
 package main
 
 import (
@@ -116,6 +117,7 @@ func run() error {
 		return err
 	}
 	reg := sc.NewRegistry()
+	sc.RegisterRuntimeMetrics(reg)
 	var tracer *sc.Tracer
 	if *traceRate > 0 || *traceBuf > 0 {
 		if *traceRate < 0 || *traceRate > 1 {
@@ -165,6 +167,8 @@ func run() error {
 			mounts = append(mounts, sc.Mount{Pattern: "/debug/traces", Handler: tracer.Handler()})
 			endpoints += " /debug/traces"
 		}
+		mounts = append(mounts, sc.Mount{Pattern: "/debug/mesh", Handler: p.MeshHandler()})
+		endpoints += " /debug/mesh"
 		admin := &http.Server{Handler: sc.NewAdminHandler(reg, p.Health(), mounts...)}
 		go admin.Serve(ln)
 		defer admin.Close()

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// LoadMicroResult reads a committed microbenchmark report (a BENCH_*.json
+// file written by cmd/proxybench -experiment=micro).
+func LoadMicroResult(path string) (MicroResult, error) {
+	var res MicroResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+// LatestBenchFile returns the lexically last BENCH_*.json in dir — with the
+// repository's BENCH_PR<n>.json convention, the most recent committed
+// baseline. Files whose base name is in exclude are skipped (so a diff
+// run's own output file is never its baseline). It errors when none
+// remain.
+func LatestBenchFile(dir string, exclude ...string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		skip := false
+		for _, x := range exclude {
+			if filepath.Base(matches[i]) == filepath.Base(x) {
+				skip = true
+			}
+		}
+		if !skip {
+			return matches[i], nil
+		}
+	}
+	return "", fmt.Errorf("no BENCH_*.json in %s", dir)
+}
+
+// MicroDelta compares one scenario across two runs. Ratio is
+// new/old ops/sec: below 1.0 the scenario got slower.
+type MicroDelta struct {
+	Name         string  `json:"name"`
+	OldOpsPerSec float64 `json:"old_ops_per_sec"`
+	NewOpsPerSec float64 `json:"new_ops_per_sec"`
+	Ratio        float64 `json:"ratio"`
+	// AdjustedRatio is Ratio with host drift divided out. The two runs
+	// may be days apart on a machine whose effective speed moved; each
+	// scenario's frozen single-lock baseline is bit-identical code in
+	// both runs, so its own movement measures the host, not the change
+	// under test. Where the scenario carries baselines in both runs,
+	// AdjustedRatio = speedup_new / speedup_old (same-workload
+	// calibration); otherwise Ratio / MicroDiff.HostDrift; zero when no
+	// calibration exists at all.
+	AdjustedRatio float64 `json:"adjusted_ratio,omitempty"`
+	OldP99Micros  float64 `json:"old_p99_us"`
+	NewP99Micros  float64 `json:"new_p99_us"`
+	// Missing marks a scenario present in only one of the runs; Ratio is
+	// 0 and the scenario cannot pass a regression gate.
+	Missing string `json:"missing,omitempty"`
+}
+
+// MicroDiff is the scenario-by-scenario comparison of two microbenchmark
+// runs.
+type MicroDiff struct {
+	Deltas []MicroDelta
+	// HostDrift is the geometric mean, over scenarios with frozen
+	// baselines in both runs, of new/old baseline ops/sec — the
+	// machine's overall speed change between the runs. Zero when no
+	// scenario carries baselines in both.
+	HostDrift float64
+}
+
+// DiffMicro pairs the scenarios of two runs by name, in the old run's
+// order (new-only scenarios follow). Scenarios found in only one run are
+// reported with Missing set rather than dropped, so a renamed or deleted
+// scenario cannot silently escape a regression gate.
+func DiffMicro(old, new MicroResult) MicroDiff {
+	var d MicroDiff
+	newByName := make(map[string]MicroScenario, len(new.Scenarios))
+	for _, s := range new.Scenarios {
+		newByName[s.Name] = s
+	}
+	var driftLogSum float64
+	var driftN int
+	for _, o := range old.Scenarios {
+		n, ok := newByName[o.Name]
+		if ok && o.Baseline != nil && n.Baseline != nil &&
+			o.Baseline.OpsPerSec > 0 && n.Baseline.OpsPerSec > 0 {
+			driftLogSum += math.Log(n.Baseline.OpsPerSec / o.Baseline.OpsPerSec)
+			driftN++
+		}
+	}
+	if driftN > 0 {
+		d.HostDrift = math.Exp(driftLogSum / float64(driftN))
+	}
+	seen := make(map[string]bool, len(old.Scenarios))
+	for _, o := range old.Scenarios {
+		seen[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			d.Deltas = append(d.Deltas, MicroDelta{
+				Name: o.Name, OldOpsPerSec: o.Current.OpsPerSec,
+				OldP99Micros: o.Current.P99Micros, Missing: "new",
+			})
+			continue
+		}
+		delta := MicroDelta{
+			Name:         o.Name,
+			OldOpsPerSec: o.Current.OpsPerSec,
+			NewOpsPerSec: n.Current.OpsPerSec,
+			OldP99Micros: o.Current.P99Micros,
+			NewP99Micros: n.Current.P99Micros,
+		}
+		if o.Current.OpsPerSec > 0 {
+			delta.Ratio = n.Current.OpsPerSec / o.Current.OpsPerSec
+		}
+		switch {
+		case o.Baseline != nil && n.Baseline != nil &&
+			o.Baseline.OpsPerSec > 0 && n.Baseline.OpsPerSec > 0 &&
+			o.Current.OpsPerSec > 0:
+			oldSpeedup := o.Current.OpsPerSec / o.Baseline.OpsPerSec
+			newSpeedup := n.Current.OpsPerSec / n.Baseline.OpsPerSec
+			delta.AdjustedRatio = newSpeedup / oldSpeedup
+		case d.HostDrift > 0:
+			delta.AdjustedRatio = delta.Ratio / d.HostDrift
+		}
+		d.Deltas = append(d.Deltas, delta)
+	}
+	for _, n := range new.Scenarios {
+		if !seen[n.Name] {
+			d.Deltas = append(d.Deltas, MicroDelta{
+				Name: n.Name, NewOpsPerSec: n.Current.OpsPerSec,
+				NewP99Micros: n.Current.P99Micros, Missing: "old",
+			})
+		}
+	}
+	return d
+}
+
+// GatedRatio is the ratio a regression gate should judge: the
+// drift-adjusted one when calibration exists, the raw one otherwise.
+func (x MicroDelta) GatedRatio() float64 {
+	if x.AdjustedRatio > 0 {
+		return x.AdjustedRatio
+	}
+	return x.Ratio
+}
+
+// Regressions returns the deltas whose GatedRatio is below floor, plus
+// any scenario missing from either run.
+func (d MicroDiff) Regressions(floor float64) []MicroDelta {
+	var out []MicroDelta
+	for _, x := range d.Deltas {
+		if x.Missing != "" || x.GatedRatio() < floor {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Format renders the diff as an aligned table for terminal output.
+func (d MicroDiff) Format() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\told ops/sec\tnew ops/sec\tratio\tadjusted\told p99\tnew p99")
+	for _, x := range d.Deltas {
+		if x.Missing != "" {
+			fmt.Fprintf(w, "%s\t-\t-\tmissing from %s run\t-\t-\t-\n", x.Name, x.Missing)
+			continue
+		}
+		adj := "-"
+		if x.AdjustedRatio > 0 {
+			adj = fmt.Sprintf("%.2fx", x.AdjustedRatio)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.2fx\t%s\t%.1fµs\t%.1fµs\n",
+			x.Name, x.OldOpsPerSec, x.NewOpsPerSec, x.Ratio, adj,
+			x.OldP99Micros, x.NewP99Micros)
+	}
+	if d.HostDrift > 0 {
+		fmt.Fprintf(w, "(host drift %.2fx by the frozen baselines; adjusted = ratio with drift divided out)\n", d.HostDrift)
+	}
+	_ = w.Flush() // a strings.Builder never errors
+	return b.String()
+}

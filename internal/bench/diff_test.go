@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkResult(names []string, ops []float64) MicroResult {
+	var r MicroResult
+	for i, n := range names {
+		r.Scenarios = append(r.Scenarios, MicroScenario{
+			Name:    n,
+			Current: MicroMeasurement{OpsPerSec: ops[i], P99Micros: 1},
+		})
+	}
+	return r
+}
+
+func TestDiffMicro(t *testing.T) {
+	old := mkResult([]string{"a", "b", "gone"}, []float64{1000, 2000, 500})
+	new := mkResult([]string{"a", "b", "added"}, []float64{990, 1000, 42})
+	d := DiffMicro(old, new)
+	if len(d.Deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %+v", len(d.Deltas), d.Deltas)
+	}
+	if d.Deltas[0].Name != "a" || d.Deltas[0].Ratio != 0.99 {
+		t.Errorf("delta a = %+v", d.Deltas[0])
+	}
+	if d.Deltas[1].Ratio != 0.5 {
+		t.Errorf("delta b ratio = %v, want 0.5", d.Deltas[1].Ratio)
+	}
+	if d.Deltas[2].Missing != "new" || d.Deltas[3].Missing != "old" {
+		t.Errorf("missing markers: %+v %+v", d.Deltas[2], d.Deltas[3])
+	}
+
+	regs := d.Regressions(0.95)
+	// b (0.5x) plus the two missing scenarios; a (0.99x) passes.
+	if len(regs) != 3 {
+		t.Fatalf("Regressions(0.95) = %+v, want 3 entries", regs)
+	}
+	for _, r := range regs {
+		if r.Name == "a" {
+			t.Errorf("a (0.99x) flagged as regression")
+		}
+	}
+
+	out := d.Format()
+	for _, want := range []string{"scenario", "0.99x", "0.50x", "missing from new run", "missing from old run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffMicroHostDrift: each scenario's frozen baseline runs identical
+// code in both runs, so baseline movement calibrates out machine-speed
+// drift between recording days.
+func TestDiffMicroHostDrift(t *testing.T) {
+	withBase := func(cur, base float64) MicroScenario {
+		return MicroScenario{
+			Name:     "a",
+			Current:  MicroMeasurement{OpsPerSec: cur, P99Micros: 1},
+			Baseline: &MicroMeasurement{OpsPerSec: base, P99Micros: 1},
+		}
+	}
+	// Old run on a fast host (baseline 1000), new run on a host half as
+	// fast (baseline 500): the raw ratio halves but the speedup-vs-
+	// baseline is unchanged, so nothing actually regressed.
+	old := MicroResult{Scenarios: []MicroScenario{withBase(2000, 1000),
+		{Name: "nobase", Current: MicroMeasurement{OpsPerSec: 100}}}}
+	new := MicroResult{Scenarios: []MicroScenario{withBase(1000, 500),
+		{Name: "nobase", Current: MicroMeasurement{OpsPerSec: 52}}}}
+	d := DiffMicro(old, new)
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(d.HostDrift, 0.5) {
+		t.Fatalf("HostDrift = %v, want 0.5", d.HostDrift)
+	}
+	if a := d.Deltas[0]; a.Ratio != 0.5 || !approx(a.AdjustedRatio, 1.0) {
+		t.Errorf("calibrated delta = %+v, want ratio 0.5 adjusted 1.0", a)
+	}
+	// The baseline-free scenario falls back to the global drift factor.
+	if nb := d.Deltas[1]; !approx(nb.AdjustedRatio, 0.52/0.5) {
+		t.Errorf("nobase AdjustedRatio = %v, want %v", nb.AdjustedRatio, 0.52/0.5)
+	}
+	if regs := d.Regressions(0.95); len(regs) != 0 {
+		t.Errorf("Regressions = %+v, want none once drift is calibrated out", regs)
+	}
+	if got := (MicroDelta{Ratio: 0.9}).GatedRatio(); got != 0.9 {
+		t.Errorf("GatedRatio without adjustment = %v, want raw 0.9", got)
+	}
+	if !strings.Contains(d.Format(), "host drift 0.50x") {
+		t.Errorf("Format() missing drift note:\n%s", d.Format())
+	}
+}
+
+func TestLatestBenchFileAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LatestBenchFile(dir); err == nil {
+		t.Error("LatestBenchFile on empty dir: want error")
+	}
+	for _, name := range []string{"BENCH_PR3.json", "BENCH_PR6.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name),
+			[]byte(`{"gomaxprocs":4,"scenarios":[{"name":"x","current":{"ops_per_sec":10}}]}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBenchFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR6.json" {
+		t.Errorf("LatestBenchFile = %q, want BENCH_PR6.json", got)
+	}
+	// The diff run's own output file must never be its baseline.
+	got, err = LatestBenchFile(dir, "BENCH_PR6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR3.json" {
+		t.Errorf("LatestBenchFile with exclusion = %q, want BENCH_PR3.json", got)
+	}
+	if _, err := LatestBenchFile(dir, "BENCH_PR3.json", "BENCH_PR6.json"); err == nil {
+		t.Error("LatestBenchFile with all files excluded: want error")
+	}
+	res, err := LoadMicroResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 1 || res.Scenarios[0].Current.OpsPerSec != 10 {
+		t.Errorf("LoadMicroResult = %+v", res)
+	}
+	if _, err := LoadMicroResult(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("LoadMicroResult on missing file: want error")
+	}
+}

@@ -6,12 +6,29 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"summarycache/internal/icp"
 	"summarycache/internal/obs"
 	"summarycache/internal/tracing"
 )
+
+// DecisionSink receives per-peer lookup attributions — the paper's
+// decision taxonomy pinned on the specific peer whose summary caused each
+// outcome. internal/meshhealth's Accounting implements it; the node calls
+// it only on decision events (after the ICP round trip), never on the
+// summary-probe fast path.
+type DecisionSink interface {
+	// Nominated: peer's summary matched, so the peer was queried.
+	Nominated(peer string)
+	// RemoteHit: peer confirmed the hit that resolved the lookup.
+	RemoteHit(peer string)
+	// FalseHit: peer's summary nominated url but the peer answered MISS.
+	FalseHit(peer, url, traceID string)
+	// FalseMiss: an audit query contradicted peer's negative probe.
+	FalseMiss(peer, url, traceID string)
+}
 
 // DefaultQueryTimeout bounds how long a node waits for ICP replies before
 // treating unanswered queries as misses (Squid behaves the same way).
@@ -94,33 +111,50 @@ type NodeConfig struct {
 	// correlated with the querier's trace via the ICP RequestNumber.
 	// Nil: tracing disabled; the lookup hot path is unchanged.
 	Tracer *tracing.Tracer
+	// Decisions, when set, receives per-peer lookup attributions (false
+	// hits pinned on the peer whose summary lied, remote hits on the peer
+	// that served them). Nil: no per-peer accounting.
+	Decisions DecisionSink
+	// FalseMissAuditEvery, when positive, samples every Nth unresolved
+	// lookup (no remote hit) and ICP-queries the peers whose summaries
+	// said NO. A HIT answer contradicts the negative probe — the paper's
+	// false miss, observed live. The audit adds one extra query fan-out
+	// per sampled lookup and never changes the lookup result; it is
+	// accounting only. 0 (default): disabled.
+	FalseMissAuditEvery int
 }
 
 // NodeStats counts a node's protocol activity.
 type NodeStats struct {
-	QueriesSent     uint64 // ICP queries issued by Lookup
-	QueriesReceived uint64 // peer queries answered
-	RemoteHits      uint64 // Lookups resolved by a peer HIT
-	FalseHits       uint64 // Lookups whose candidates all replied MISS
-	UpdatesSent     uint64 // DIRUPDATE datagrams sent
-	UpdatesReceived uint64 // DIRUPDATE datagrams applied
-	UpdateEvents    uint64 // threshold-triggered publications
-	FlipsPublished  uint64 // bit flips shipped in updates
-	FilterRebuilds  uint64 // peer replicas created, re-created or reset
-	UDP             icp.Stats
+	QueriesSent      uint64 // ICP queries issued by Lookup
+	QueriesReceived  uint64 // peer queries answered
+	RemoteHits       uint64 // Lookups resolved by a peer HIT
+	FalseHits        uint64 // Lookups whose candidates all replied MISS
+	FalseMisses      uint64 // audit answers contradicting a negative probe
+	AuditQueries     uint64 // extra ICP queries sent by the false-miss audit
+	UpdatesSent      uint64 // DIRUPDATE datagrams sent
+	UpdatesReceived  uint64 // DIRUPDATE datagrams applied
+	UpdateEvents     uint64 // threshold-triggered publications
+	FlipsPublished   uint64 // bit flips shipped in updates
+	UpdateFullBytes  uint64 // advertised bytes in full-state shipments
+	UpdateDeltaBytes uint64 // advertised bytes in delta publications
+	FilterRebuilds   uint64 // peer replicas created, re-created or reset
+	UDP              icp.Stats
 }
 
 // nodeMetrics are the registry-backed instruments behind NodeStats: the
 // Stats snapshot and the /metrics exposition read the very same counters,
 // so the two can never disagree.
 type nodeMetrics struct {
-	queriesSent, queriesRecv *obs.Counter
-	remoteHits, falseHits    *obs.Counter
-	updatesSent, updatesRecv *obs.Counter
-	updateEvents             *obs.Counter
-	flipsPublished           *obs.Counter
-	filterRebuilds           *obs.Counter
-	queryRTT                 *obs.Histogram
+	queriesSent, queriesRecv          *obs.Counter
+	remoteHits, falseHits             *obs.Counter
+	falseMisses, auditQueries         *obs.Counter
+	updatesSent, updatesRecv          *obs.Counter
+	updateEvents                      *obs.Counter
+	flipsPublished                    *obs.Counter
+	updateFullBytes, updateDeltaBytes *obs.Counter
+	filterRebuilds                    *obs.Counter
+	queryRTT                          *obs.Histogram
 }
 
 func newNodeMetrics(reg *obs.Registry, labels obs.Labels) nodeMetrics {
@@ -133,6 +167,10 @@ func newNodeMetrics(reg *obs.Registry, labels obs.Labels) nodeMetrics {
 			"Lookups resolved by a peer HIT", labels),
 		falseHits: reg.Counter("summarycache_node_false_hits_total",
 			"Lookups whose queried candidates all replied MISS", labels),
+		falseMisses: reg.Counter("summarycache_node_false_misses_total",
+			"audit ICP answers contradicting a negative summary probe", labels),
+		auditQueries: reg.Counter("summarycache_node_audit_queries_total",
+			"extra ICP queries sent by the false-miss audit", labels),
 		updatesSent: reg.Counter("summarycache_node_updates_sent_total",
 			"DIRUPDATE messages sent", labels),
 		updatesRecv: reg.Counter("summarycache_node_updates_received_total",
@@ -141,6 +179,10 @@ func newNodeMetrics(reg *obs.Registry, labels obs.Labels) nodeMetrics {
 			"threshold- or timer-triggered summary publications", labels),
 		flipsPublished: reg.Counter("summarycache_node_flips_published_total",
 			"bit flips shipped in directory updates", labels),
+		updateFullBytes: reg.Counter("summarycache_node_update_full_bytes_total",
+			"advertised DIRUPDATE bytes in full-state shipments", labels),
+		updateDeltaBytes: reg.Counter("summarycache_node_update_delta_bytes_total",
+			"advertised DIRUPDATE bytes in delta publications", labels),
 		filterRebuilds: reg.Counter("summarycache_node_filter_rebuilds_total",
 			"peer summary replicas created, re-created or reset", labels),
 		queryRTT: reg.Histogram("summarycache_node_query_rtt_seconds",
@@ -162,6 +204,17 @@ type Node struct {
 	mu        sync.RWMutex
 	peerAddrs map[string]*net.UDPAddr
 	publishMu sync.Mutex // serializes threshold publications
+
+	// Per-peer outbound update accounting (updates and bytes sent to each
+	// registered neighbor; multicast sends are not per-peer and are only
+	// counted at the node level).
+	outMu   sync.Mutex
+	peerOut map[string]*peerOutCounters
+	// lastAdvert is when this node last shipped any summary state (delta
+	// publication or full-state bootstrap), unix nanos; 0 = never.
+	lastAdvert atomic.Int64
+	// auditSeq drives FalseMissAuditEvery sampling.
+	auditSeq atomic.Uint64
 
 	metrics nodeMetrics
 	reg     *obs.Registry
@@ -206,6 +259,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		dir:       dir,
 		peers:     NewPeerTable(),
 		peerAddrs: make(map[string]*net.UDPAddr),
+		peerOut:   make(map[string]*peerOutCounters),
 		tcpPeers:  make(map[string]*icp.TCPClient),
 		health:    obs.NewHealth(),
 		log:       obs.OrNop(cfg.Logger),
@@ -347,6 +401,7 @@ func (n *Node) AddPeerTCP(udpAddr *net.UDPAddr, tcpAddr string) error {
 	})
 	n.tcpMu.Unlock()
 	n.health.SetPeer(udpAddr.String(), true)
+	n.registerPeerMetrics(udpAddr.String())
 	return n.sendFullState(udpAddr)
 }
 
@@ -456,16 +511,20 @@ func (n *Node) handleMulticast(from *net.UDPAddr, m icp.Message) {
 // call taken at the same quiescent moment agree exactly.
 func (n *Node) Stats() NodeStats {
 	return NodeStats{
-		QueriesSent:     n.metrics.queriesSent.Value(),
-		QueriesReceived: n.metrics.queriesRecv.Value(),
-		RemoteHits:      n.metrics.remoteHits.Value(),
-		FalseHits:       n.metrics.falseHits.Value(),
-		UpdatesSent:     n.metrics.updatesSent.Value(),
-		UpdatesReceived: n.metrics.updatesRecv.Value(),
-		UpdateEvents:    n.metrics.updateEvents.Value(),
-		FlipsPublished:  n.metrics.flipsPublished.Value(),
-		FilterRebuilds:  n.metrics.filterRebuilds.Value(),
-		UDP:             n.conn.Stats(),
+		QueriesSent:      n.metrics.queriesSent.Value(),
+		QueriesReceived:  n.metrics.queriesRecv.Value(),
+		RemoteHits:       n.metrics.remoteHits.Value(),
+		FalseHits:        n.metrics.falseHits.Value(),
+		FalseMisses:      n.metrics.falseMisses.Value(),
+		AuditQueries:     n.metrics.auditQueries.Value(),
+		UpdatesSent:      n.metrics.updatesSent.Value(),
+		UpdatesReceived:  n.metrics.updatesRecv.Value(),
+		UpdateEvents:     n.metrics.updateEvents.Value(),
+		FlipsPublished:   n.metrics.flipsPublished.Value(),
+		UpdateFullBytes:  n.metrics.updateFullBytes.Value(),
+		UpdateDeltaBytes: n.metrics.updateDeltaBytes.Value(),
+		FilterRebuilds:   n.metrics.filterRebuilds.Value(),
+		UDP:              n.conn.Stats(),
 	}
 }
 
@@ -476,6 +535,7 @@ func (n *Node) AddPeer(addr *net.UDPAddr) error {
 	n.peerAddrs[addr.String()] = addr
 	n.mu.Unlock()
 	n.health.SetPeer(addr.String(), true)
+	n.registerPeerMetrics(addr.String())
 	return n.sendFullState(addr)
 }
 
@@ -518,7 +578,9 @@ func (n *Node) ResyncPeers() error {
 	return firstErr
 }
 
-// RemovePeer forgets a neighbor and its summary.
+// RemovePeer forgets a neighbor and its summary. Every peer-labeled
+// series the node registered for it is retired with it — peer churn must
+// not leave stale series in the exposition.
 func (n *Node) RemovePeer(addr *net.UDPAddr) {
 	n.mu.Lock()
 	delete(n.peerAddrs, addr.String())
@@ -531,6 +593,10 @@ func (n *Node) RemovePeer(addr *net.UDPAddr) {
 	}
 	n.tcpMu.Unlock()
 	n.peers.Drop(addr.String())
+	n.outMu.Lock()
+	delete(n.peerOut, addr.String())
+	n.outMu.Unlock()
+	n.reg.Unregister(obs.L("node", n.Addr().String(), "peer", addr.String()))
 }
 
 // PeerAddrs returns the registered neighbor addresses.
@@ -542,6 +608,110 @@ func (n *Node) PeerAddrs() []*net.UDPAddr {
 		out = append(out, a)
 	}
 	return out
+}
+
+// peerOutCounters accumulates what this node's update stream costs one
+// registered neighbor on the wire.
+type peerOutCounters struct {
+	updates uint64
+	bytes   uint64
+}
+
+// noteSent charges one successfully sent update message to a peer and to
+// the node-level full/delta byte split.
+func (n *Node) noteSent(id string, wire int, full bool) {
+	n.outMu.Lock()
+	po := n.peerOut[id]
+	if po == nil {
+		po = &peerOutCounters{}
+		n.peerOut[id] = po
+	}
+	po.updates++
+	po.bytes += uint64(wire)
+	n.outMu.Unlock()
+	if full {
+		n.metrics.updateFullBytes.Add(uint64(wire))
+	} else {
+		n.metrics.updateDeltaBytes.Add(uint64(wire))
+	}
+}
+
+// PeerOut returns the update messages and bytes this node has sent to one
+// registered neighbor.
+func (n *Node) PeerOut(id string) (updates, bytes uint64) {
+	n.outMu.Lock()
+	defer n.outMu.Unlock()
+	if po := n.peerOut[id]; po != nil {
+		return po.updates, po.bytes
+	}
+	return 0, 0
+}
+
+// LastAdvertAge returns how long ago this node last shipped summary state
+// to anyone (false: never).
+func (n *Node) LastAdvertAge() (time.Duration, bool) {
+	ns := n.lastAdvert.Load()
+	if ns == 0 {
+		return 0, false
+	}
+	return time.Duration(time.Now().UnixNano() - ns), true
+}
+
+// registerPeerMetrics exposes a registered neighbor's replica health and
+// wire accounting as peer-labeled series. All series are scrape-time
+// callbacks reading the peer table (one source of truth), so they carry no
+// probe-path cost. RemovePeer retires them.
+func (n *Node) registerPeerMetrics(id string) {
+	ls := obs.L("node", n.Addr().String(), "peer", id)
+	pt := n.peers
+	health := func(read func(PeerHealth) float64) func() float64 {
+		return func() float64 {
+			h, ok := pt.Health(id)
+			if !ok {
+				return 0
+			}
+			return read(h)
+		}
+	}
+	n.reg.GaugeFunc("summarycache_peer_fill_ratio",
+		"fraction of set bits in the peer's summary replica", ls,
+		health(func(h PeerHealth) float64 { return h.FillRatio }))
+	n.reg.GaugeFunc("summarycache_peer_est_false_positive",
+		"estimated false-positive probability of the replica (fill^k)", ls,
+		health(func(h PeerHealth) float64 { return h.EstFalsePositive }))
+	n.reg.GaugeFunc("summarycache_peer_update_age_seconds",
+		"seconds since the peer's last DIRUPDATE was applied", ls,
+		health(func(h PeerHealth) float64 { return h.UpdateAge.Seconds() }))
+	n.reg.CounterFunc("summarycache_peer_update_bytes_in_total",
+		"DIRUPDATE bytes applied from this peer", ls,
+		func() uint64 {
+			h, _ := pt.Health(id)
+			return h.BytesIn
+		})
+	n.reg.CounterFunc("summarycache_peer_updates_full_total",
+		"full-state updates applied from this peer", ls,
+		func() uint64 {
+			h, _ := pt.Health(id)
+			return h.FullUpdates
+		})
+	n.reg.CounterFunc("summarycache_peer_updates_delta_total",
+		"delta updates applied from this peer", ls,
+		func() uint64 {
+			h, _ := pt.Health(id)
+			return h.DeltaUpdates
+		})
+	n.reg.CounterFunc("summarycache_peer_updates_sent_total",
+		"update messages sent to this peer", ls,
+		func() uint64 {
+			u, _ := n.PeerOut(id)
+			return u
+		})
+	n.reg.CounterFunc("summarycache_peer_update_bytes_out_total",
+		"update bytes sent to this peer", ls,
+		func() uint64 {
+			_, b := n.PeerOut(id)
+			return b
+		})
 }
 
 // HandleInsert records a document entering the local cache and publishes
@@ -593,11 +763,14 @@ func (n *Node) publishLocked() {
 	n.stampIdentity(msgs)
 	n.log.Info("summary published", "flips", len(flips), "messages", len(msgs),
 		"multicast", n.groupAddr != nil)
+	n.lastAdvert.Store(time.Now().UnixNano())
 	if n.groupAddr != nil {
-		// One datagram to the group replaces N−1 unicasts.
+		// One datagram to the group replaces N−1 unicasts; the cost is
+		// charged at the node level only (no per-peer attribution).
 		for _, m := range msgs {
 			if err := n.conn.Send(n.groupAddr, m); err == nil {
 				n.metrics.updatesSent.Inc()
+				n.metrics.updateDeltaBytes.Add(uint64(m.EncodedLen()))
 			}
 		}
 		return
@@ -606,6 +779,7 @@ func (n *Node) publishLocked() {
 		for _, m := range msgs {
 			if err := n.sendUpdate(addr, m); err == nil {
 				n.metrics.updatesSent.Inc()
+				n.noteSent(addr.String(), m.EncodedLen(), false)
 			}
 		}
 	}
@@ -647,7 +821,9 @@ func (n *Node) sendFullState(addr *net.UDPAddr) error {
 			return err
 		}
 		n.metrics.updatesSent.Inc()
+		n.noteSent(addr.String(), m.EncodedLen(), true)
 	}
+	n.lastAdvert.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -678,9 +854,16 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 	} else {
 		ids = n.peers.Candidates(url)
 	}
+	sink := n.cfg.Decisions
 	if len(ids) == 0 {
 		n.traceLookup(tr, false, probes, probeStart, nil, 0, 0, nil)
+		n.auditFalseMiss(ctx, url, nil, tr)
 		return nil, 0, nil
+	}
+	if sink != nil {
+		for _, id := range ids {
+			sink.Nominated(id)
+		}
 	}
 	n.mu.RLock()
 	addrs := make([]*net.UDPAddr, 0, len(ids))
@@ -703,6 +886,7 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 	}
 	if len(addrs) == 0 {
 		n.traceLookup(tr, false, probes, probeStart, nil, 0, 0, nil)
+		n.auditFalseMiss(ctx, url, ids, tr)
 		return nil, 0, nil
 	}
 	n.metrics.queriesSent.Add(uint64(len(addrs)))
@@ -710,7 +894,7 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 	defer cancel()
 	var replies map[string]icp.Opcode
 	var onReply func(*net.UDPAddr, icp.Opcode)
-	if tr != nil {
+	if tr != nil || sink != nil {
 		replies = make(map[string]icp.Opcode, len(addrs))
 		// Invoked on this goroutine by QueryAllFunc; no lock needed.
 		onReply = func(from *net.UDPAddr, op icp.Opcode) { replies[from.String()] = op }
@@ -725,15 +909,80 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 	}
 	if ok {
 		n.metrics.remoteHits.Inc()
+		if sink != nil {
+			sink.RemoteHit(from.String())
+		}
 		return from, len(addrs), nil
 	}
 	n.metrics.falseHits.Inc()
+	if sink != nil {
+		// Every candidate that answered MISS was nominated by a summary
+		// that lied; unanswered candidates may just be down or lossy, so
+		// they are not charged.
+		for id, op := range replies {
+			if op != icp.OpHit && op != icp.OpHitObj {
+				sink.FalseHit(id, url, traceID(tr))
+			}
+		}
+	}
 	if tr != nil && len(replies) < len(addrs) {
 		// Some candidates never answered inside the timeout — the
 		// peer-down/timeout class of anomaly, kept by tail sampling.
 		tr.MarkAnomalous("query_timeout")
 	}
+	n.auditFalseMiss(ctx, url, ids, tr)
 	return nil, len(addrs), nil
+}
+
+// traceID returns tr's current ID as a hex string ("" when untraced) —
+// the /debug/traces link key attached to false-decision records.
+func traceID(tr *tracing.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.ID().String()
+}
+
+// auditFalseMiss implements NodeConfig.FalseMissAuditEvery: after an
+// unresolved lookup it ICP-queries the registered peers whose summaries
+// said NO (the negative probes). A HIT answer is the paper's false miss,
+// attributed to the answering peer. At most one false miss is counted per
+// audited lookup — the event is the lookup, not the peer count. The
+// lookup result is never changed; this is accounting only.
+func (n *Node) auditFalseMiss(ctx context.Context, url string, nominated []string, tr *tracing.Trace) {
+	every := n.cfg.FalseMissAuditEvery
+	if every <= 0 {
+		return
+	}
+	if c := n.auditSeq.Add(1); every > 1 && (c-1)%uint64(every) != 0 {
+		return
+	}
+	nom := make(map[string]bool, len(nominated))
+	for _, id := range nominated {
+		nom[id] = true
+	}
+	n.mu.RLock()
+	addrs := make([]*net.UDPAddr, 0, len(n.peerAddrs))
+	for id, a := range n.peerAddrs {
+		if !nom[id] {
+			addrs = append(addrs, a)
+		}
+	}
+	n.mu.RUnlock()
+	if len(addrs) == 0 {
+		return
+	}
+	n.metrics.auditQueries.Add(uint64(len(addrs)))
+	qctx, cancel := context.WithTimeout(ctx, n.cfg.QueryTimeout)
+	defer cancel()
+	ok, from, _, err := n.conn.QueryAllFunc(qctx, addrs, url, nil)
+	if err != nil || !ok {
+		return
+	}
+	n.metrics.falseMisses.Inc()
+	if n.cfg.Decisions != nil {
+		n.cfg.Decisions.FalseMiss(from.String(), url, traceID(tr))
+	}
 }
 
 // traceLookup records the decision audit of one Lookup on tr: a

@@ -31,6 +31,15 @@ type peerSummary struct {
 	updates uint64
 	// changed is when the last update was applied — the replica's age.
 	changed time.Time
+	// Mesh-health accounting, per the paper's overhead quantities
+	// (Figs. 6–8): what each peer's summary stream costs on the wire and
+	// how it arrives. These survive geometry changes and full resets —
+	// they describe the peer relationship, not one replica incarnation.
+	fullUpdates  uint64
+	deltaUpdates uint64
+	bytesIn      uint64
+	flipsApplied uint64
+	rebuilds     uint64
 }
 
 // NewPeerTable creates an empty table.
@@ -92,12 +101,20 @@ func (pt *PeerTable) ApplyUpdate(peer string, u *icp.DirUpdate, full bool) error
 			pt.mu.Unlock()
 			return fmt.Errorf("core: update from %s: %w", peer, err)
 		}
+		next := &peerSummary{filter: f, spec: u.Spec}
 		if ps == nil {
 			rebuilt = "first-contact"
 		} else {
 			rebuilt = "geometry-change"
+			// Keep the relationship-level health accounting across the
+			// replica rebuild; only the bit array starts over.
+			next.fullUpdates = ps.fullUpdates
+			next.deltaUpdates = ps.deltaUpdates
+			next.bytesIn = ps.bytesIn
+			next.flipsApplied = ps.flipsApplied
+			next.rebuilds = ps.rebuilds
 		}
-		ps = &peerSummary{filter: f, spec: u.Spec}
+		ps = next
 		pt.peers[peer] = ps
 	} else if full {
 		ps.filter.Reset()
@@ -109,6 +126,16 @@ func (pt *PeerTable) ApplyUpdate(peer string, u *icp.DirUpdate, full bool) error
 	}
 	ps.updates++
 	ps.changed = time.Now()
+	if full {
+		ps.fullUpdates++
+	} else {
+		ps.deltaUpdates++
+	}
+	ps.bytesIn += uint64(u.WireBytes())
+	ps.flipsApplied += uint64(len(u.Flips))
+	if rebuilt != "" {
+		ps.rebuilds++
+	}
 	fn := pt.onRebuild
 	pt.mu.Unlock()
 	if rebuilt != "" && fn != nil {
@@ -174,6 +201,89 @@ func (pt *PeerTable) ProbeAll(url string) []SummaryProbe {
 			Age:        time.Since(ps.changed),
 			FilterBits: ps.filter.Size(),
 		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// PeerHealth is the mesh-health snapshot of one peer's summary replica:
+// how full (and therefore how trustworthy) the filter is, how stale it may
+// be, and what the peer's update stream has cost on the wire. Fields map
+// onto the paper's evaluation quantities — EstFalsePositive is the
+// fill-ratio^k bound behind the false-hit rows of Tables 4–5, and the
+// byte counts are the Fig. 7–8 overhead, measured per peer.
+type PeerHealth struct {
+	// Peer is the replica's identifier (the node layer's UDP address).
+	Peer string `json:"peer"`
+	// Generation is the number of updates applied to the current replica
+	// incarnation (reset when the geometry changes).
+	Generation uint64 `json:"generation"`
+	// UpdateAge is how long ago the last DIRUPDATE was applied.
+	UpdateAge time.Duration `json:"update_age"`
+	// FillRatio is the fraction of set bits in the replica.
+	FillRatio float64 `json:"fill_ratio"`
+	// EstFalsePositive is FillRatio^k — the replica's estimated
+	// false-positive probability, hence this peer's expected false-hit
+	// contribution per negative document.
+	EstFalsePositive float64 `json:"est_false_positive"`
+	// FilterBits is the replica's bit-array size; K its hash count.
+	FilterBits uint64 `json:"filter_bits"`
+	K          int    `json:"k"`
+	// FullUpdates / DeltaUpdates split applied updates by kind; BytesIn is
+	// their total wire cost; FlipsApplied the total bit-flip records.
+	FullUpdates  uint64 `json:"full_updates"`
+	DeltaUpdates uint64 `json:"delta_updates"`
+	BytesIn      uint64 `json:"bytes_in"`
+	FlipsApplied uint64 `json:"flips_applied"`
+	// Rebuilds counts replica re-creations (first contact, geometry
+	// change, full reset).
+	Rebuilds uint64 `json:"rebuilds"`
+}
+
+func (ps *peerSummary) health(id string) PeerHealth {
+	fill := ps.filter.FillRatio()
+	k := ps.filter.K()
+	est := 1.0
+	for i := 0; i < k; i++ {
+		est *= fill
+	}
+	return PeerHealth{
+		Peer:             id,
+		Generation:       ps.updates,
+		UpdateAge:        time.Since(ps.changed),
+		FillRatio:        fill,
+		EstFalsePositive: est,
+		FilterBits:       ps.filter.Size(),
+		K:                k,
+		FullUpdates:      ps.fullUpdates,
+		DeltaUpdates:     ps.deltaUpdates,
+		BytesIn:          ps.bytesIn,
+		FlipsApplied:     ps.flipsApplied,
+		Rebuilds:         ps.rebuilds,
+	}
+}
+
+// Health returns the mesh-health snapshot for one peer (false when the
+// peer has no initialized replica).
+func (pt *PeerTable) Health(peer string) (PeerHealth, bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	ps := pt.peers[peer]
+	if ps == nil {
+		return PeerHealth{}, false
+	}
+	return ps.health(peer), true
+}
+
+// HealthAll snapshots every initialized peer replica, sorted by peer id.
+// FillRatio costs a popcount over the replica (O(bits/64)); callers are
+// admin endpoints and scrapes, not the probe path.
+func (pt *PeerTable) HealthAll() []PeerHealth {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	out := make([]PeerHealth, 0, len(pt.peers))
+	for id, ps := range pt.peers {
+		out = append(out, ps.health(id))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out

@@ -25,8 +25,17 @@ import (
 	"summarycache/internal/faultnet"
 	"summarycache/internal/icp"
 	"summarycache/internal/lru"
+	"summarycache/internal/meshhealth"
 	"summarycache/internal/obs"
 	"summarycache/internal/tracing"
+)
+
+// docVersionHeader carries a document's version number on sibling and
+// origin responses; versionParam is the query parameter that names the
+// wanted version in version-aware mode (the test origin's convention).
+const (
+	docVersionHeader = "X-Doc-Version"
+	versionParam     = "v"
 )
 
 // Resilience defaults. Each Config field below accepts 0 for the default
@@ -124,6 +133,21 @@ type Config struct {
 	// hierarchical configuration of the paper's §VIII ("a proxy ... can
 	// ask a parent proxy to [fetch a document from the server]").
 	ParentURL string
+	// VersionAware makes the proxy distinguish document versions: the
+	// versionParam query parameter is stripped from the target to form the
+	// cache key, the stored version rides the docVersionHeader on sibling
+	// responses, and a delivered version that does not match the wanted one
+	// is classified stale — a local stale copy counts as a miss, a stale
+	// sibling delivery as a stale hit (the paper's remote stale hits).
+	// Default off: the target string is the cache key and versions are
+	// never compared, the seed's behavior.
+	VersionAware bool
+	// FalseMissAuditEvery, when positive, audits every Nth unresolved
+	// lookup for false misses by querying the siblings whose summaries said
+	// no (ModeSCICP; forwarded to core.NodeConfig.FalseMissAuditEvery).
+	// Accounting only — a detected false miss never changes the lookup's
+	// result. 0: auditing disabled.
+	FalseMissAuditEvery int
 	// SingleCopy enables the paper's single-copy sharing scheme: a
 	// document served by a sibling is NOT cached locally ("a proxy does
 	// not cache documents fetched from another proxy"), conserving space
@@ -196,7 +220,13 @@ type Stats struct {
 	// FalseHits counts requests that fell through to the origin after a
 	// sibling indication failed: summaries nominated candidates that all
 	// replied MISS, or a sibling claimed a HIT it could not deliver.
-	FalseHits     uint64
+	FalseHits uint64
+	// StaleHits counts sibling deliveries of an out-of-date version
+	// (version-aware mode; the request still fell through to the origin).
+	StaleHits uint64
+	// LocalStale counts local lookups that found a cached but out-of-date
+	// version (version-aware mode; treated as misses).
+	LocalStale    uint64
 	OriginFetches uint64
 	PeerFetches   uint64 // sibling cache-only fetches issued
 	// Retries counts additional origin fetch attempts after retryable
@@ -223,12 +253,14 @@ const (
 	outcomeRemoteHit = "remote_hit"
 	outcomeMiss      = "miss"
 	outcomeFalseHit  = "false_hit"
+	outcomeStaleHit  = "stale_hit"
 )
 
 // proxyMetrics are the registry-backed instruments behind Stats.
 type proxyMetrics struct {
 	clientReqs, localHits, remoteHits *obs.Counter
 	misses, falseHits                 *obs.Counter
+	staleHits, localStale             *obs.Counter
 	originFetches, peerFetches        *obs.Counter
 	retries, breakerSkips             *obs.Counter
 	inflight                          *obs.Gauge
@@ -247,6 +279,10 @@ func newProxyMetrics(reg *obs.Registry, labels obs.Labels) proxyMetrics {
 			"requests served from the origin", labels),
 		falseHits: reg.Counter("summarycache_proxy_false_hits_total",
 			"origin fetches preceded by a failed sibling indication", labels),
+		staleHits: reg.Counter("summarycache_proxy_stale_hits_total",
+			"sibling deliveries of an out-of-date document version", labels),
+		localStale: reg.Counter("summarycache_proxy_local_stale_total",
+			"local lookups that found a cached but out-of-date version", labels),
 		originFetches: reg.Counter("summarycache_proxy_origin_fetches_total",
 			"fetches issued to the origin (or parent)", labels),
 		peerFetches: reg.Counter("summarycache_proxy_peer_fetches_total",
@@ -259,7 +295,7 @@ func newProxyMetrics(reg *obs.Registry, labels obs.Labels) proxyMetrics {
 			"client requests currently being served", labels),
 		latency: make(map[string]*obs.Histogram),
 	}
-	for _, o := range []string{outcomeLocalHit, outcomeRemoteHit, outcomeMiss, outcomeFalseHit} {
+	for _, o := range []string{outcomeLocalHit, outcomeRemoteHit, outcomeMiss, outcomeFalseHit, outcomeStaleHit} {
 		m.latency[o] = reg.Histogram("summarycache_proxy_request_seconds",
 			"client request latency by outcome", labels.With("outcome", o), nil)
 	}
@@ -297,10 +333,11 @@ type Proxy struct {
 	srv    *http.Server
 	client *http.Client
 
-	metrics proxyMetrics
-	reg     *obs.Registry
-	health  *obs.Health     // non-node modes; ModeSCICP delegates to the node
-	tracer  *tracing.Tracer // nil: tracing disabled
+	metrics   proxyMetrics
+	reg       *obs.Registry
+	health    *obs.Health            // non-node modes; ModeSCICP delegates to the node
+	tracer    *tracing.Tracer        // nil: tracing disabled
+	decisions *meshhealth.Accounting // per-peer decision taxonomy
 }
 
 // resolveDuration applies the 0=default / negative=disabled convention.
@@ -398,6 +435,7 @@ func Start(cfg Config) (*Proxy, error) {
 	p.metrics = newProxyMetrics(reg, labels)
 	p.registerCacheMetrics(reg, labels)
 	p.tracer = cfg.Tracer
+	p.decisions = meshhealth.New(reg, labels)
 
 	var sockWrap icp.SocketWrapper
 	if cfg.Faults != nil {
@@ -425,15 +463,17 @@ func Start(cfg Config) (*Proxy, error) {
 		conn.Start()
 	case ModeSCICP:
 		node, err := core.NewNode(core.NodeConfig{
-			ListenAddr:        cfg.ICPAddr,
-			Directory:         cfg.Summary,
-			HasDocument:       p.cache.Contains,
-			MinFlipsToPublish: cfg.MinUpdateFlips,
-			QueryTimeout:      cfg.QueryTimeout,
-			SocketWrapper:     sockWrap,
-			Metrics:           reg,
-			Logger:            cfg.Logger,
-			Tracer:            cfg.Tracer,
+			ListenAddr:          cfg.ICPAddr,
+			Directory:           cfg.Summary,
+			HasDocument:         p.cache.Contains,
+			MinFlipsToPublish:   cfg.MinUpdateFlips,
+			QueryTimeout:        cfg.QueryTimeout,
+			SocketWrapper:       sockWrap,
+			Metrics:             reg,
+			Logger:              cfg.Logger,
+			Tracer:              cfg.Tracer,
+			Decisions:           p.decisions,
+			FalseMissAuditEvery: cfg.FalseMissAuditEvery,
 		})
 		if err != nil {
 			_ = ln.Close() // the node startup failure is the error worth reporting
@@ -480,6 +520,25 @@ func (p *Proxy) registerCacheMetrics(reg *obs.Registry, labels obs.Labels) {
 		"staleness invalidations: cached documents replaced by a new version",
 		labels,
 		func() uint64 { return p.cache.Counters().Updated })
+	reg.CounterFunc("summarycache_cache_lock_contentions_total",
+		"shard-lock acquisitions that found the lock held", labels,
+		func() uint64 { return p.cache.Counters().LockContentions })
+	reg.CounterFunc("summarycache_cache_clock_ticks_total",
+		"recency-clock advances (one per stamped cache operation)", labels,
+		func() uint64 { return p.cache.ClockTicks() })
+	for i := 0; i < p.cache.Shards(); i++ {
+		i := i
+		sl := labels.With("shard", strconv.Itoa(i))
+		reg.GaugeFunc("summarycache_cache_shard_entries",
+			"documents held by this cache shard", sl,
+			func() float64 { return float64(p.cache.ShardStat(i).Entries) })
+		reg.GaugeFunc("summarycache_cache_shard_bytes",
+			"bytes held by this cache shard", sl,
+			func() float64 { return float64(p.cache.ShardStat(i).Bytes) })
+		reg.CounterFunc("summarycache_cache_shard_lock_contentions_total",
+			"contended lock acquisitions on this cache shard", sl,
+			func() uint64 { return p.cache.ShardStat(i).LockContentions })
+	}
 }
 
 // Registry returns the registry the proxy instruments itself against —
@@ -584,6 +643,40 @@ func (p *Proxy) AddPeer(icpAddr *net.UDPAddr, httpURL string) error {
 	return nil
 }
 
+// RemovePeer drops a sibling: its ICP endpoint, HTTP mapping, circuit
+// breaker, summary replica (ModeSCICP), decision accounting, and — the
+// part peer churn gets wrong by default — every metric series labeled
+// with the departed peer, so /metrics stops exposing stale series.
+func (p *Proxy) RemovePeer(icpAddr *net.UDPAddr) {
+	id := icpAddr.String()
+	p.peerMu.Lock()
+	if _, known := p.peerHTTP[id]; known {
+		delete(p.peerHTTP, id)
+		kept := p.icpPeers[:0]
+		for _, a := range p.icpPeers {
+			if a.String() != id {
+				kept = append(kept, a)
+			}
+		}
+		p.icpPeers = kept
+	}
+	p.peerMu.Unlock()
+	if p.breakers != nil {
+		p.brMu.Lock()
+		delete(p.breakers, id)
+		p.brMu.Unlock()
+	}
+	if p.node != nil {
+		p.node.RemovePeer(icpAddr)
+	} else if p.health != nil {
+		p.health.RemovePeer(id)
+	}
+	p.decisions.RemovePeer(id)
+	// Sweep anything else labeled for this peer under the proxy's label
+	// set (the breaker-state gauge in particular).
+	p.reg.Unregister(obs.L("proxy", p.ln.Addr().String(), "peer", id))
+}
+
 // registerBreaker creates the sibling's circuit (once) and exposes its
 // state as a gauge: 0 closed, 1 open, 2 half-open.
 func (p *Proxy) registerBreaker(id string) {
@@ -664,6 +757,8 @@ func (p *Proxy) Stats() Stats {
 		RemoteHits:     p.metrics.remoteHits.Value(),
 		Misses:         p.metrics.misses.Value(),
 		FalseHits:      p.metrics.falseHits.Value(),
+		StaleHits:      p.metrics.staleHits.Value(),
+		LocalStale:     p.metrics.localStale.Value(),
 		OriginFetches:  p.metrics.originFetches.Value(),
 		PeerFetches:    p.metrics.peerFetches.Value(),
 		Retries:        p.metrics.retries.Value(),
@@ -703,6 +798,86 @@ func (p *Proxy) Purge(target string) bool {
 // when tracing is disabled) — what an admin mux serves at /debug/traces.
 func (p *Proxy) Tracer() *tracing.Tracer { return p.tracer }
 
+// Decisions returns the per-peer decision accounting (never nil after
+// Start) — the live false-hit/false-miss/stale-hit taxonomy.
+func (p *Proxy) Decisions() *meshhealth.Accounting { return p.decisions }
+
+// MeshReport assembles this proxy's mesh-health view: local advertisement
+// staleness, one row per sibling (replica health, breaker, wire bytes,
+// attributed decisions), and the recent false-decision trail.
+func (p *Proxy) MeshReport() meshhealth.Report {
+	rep := meshhealth.Report{
+		Proxy: p.ln.Addr().String(),
+		Mode:  p.cfg.Mode.String(),
+	}
+	if a := p.ICPAddr(); a != nil {
+		rep.Node = a.String()
+	}
+	rep.Local.CacheEntries = p.cache.Len()
+	rep.Local.CacheBytes = p.cache.Bytes()
+	rep.Local.LastAdvertAgeMS = -1
+	var replicas map[string]core.PeerHealth
+	if p.node != nil {
+		st := p.node.Stats()
+		rep.Local.DirectoryDocs = int64(p.node.Directory().Docs())
+		rep.Local.PendingFlips = p.node.Directory().PendingFlips()
+		rep.Local.UpdatesSent = st.UpdatesSent
+		rep.Local.UpdateEvents = st.UpdateEvents
+		rep.Local.FullBytesOut = st.UpdateFullBytes
+		rep.Local.DeltaBytesOut = st.UpdateDeltaBytes
+		if age, ok := p.node.LastAdvertAge(); ok {
+			rep.Local.LastAdvertAgeMS = float64(age.Microseconds()) / 1e3
+		}
+		all := p.node.PeerSummaries().HealthAll()
+		replicas = make(map[string]core.PeerHealth, len(all))
+		for _, h := range all {
+			replicas[h.Peer] = h
+		}
+	}
+	upSet := make(map[string]bool)
+	up, _ := p.Health().Snapshot()
+	for _, id := range up {
+		upSet[id] = true
+	}
+	p.peerMu.RLock()
+	peers := append([]*net.UDPAddr(nil), p.icpPeers...)
+	p.peerMu.RUnlock()
+	for _, peer := range peers {
+		id := peer.String()
+		pr := meshhealth.PeerReport{Peer: id, Up: upSet[id]}
+		if p.breakers != nil {
+			pr.Breaker = p.BreakerState(id).String()
+		}
+		if h, ok := replicas[id]; ok {
+			pr.HasReplica = true
+			pr.Generation = h.Generation
+			pr.UpdateAgeMS = float64(h.UpdateAge.Microseconds()) / 1e3
+			pr.FillRatio = h.FillRatio
+			pr.EstFalsePositive = h.EstFalsePositive
+			pr.FilterBits = h.FilterBits
+			pr.FullUpdates = h.FullUpdates
+			pr.DeltaUpdates = h.DeltaUpdates
+			pr.BytesIn = h.BytesIn
+		}
+		if p.node != nil {
+			pr.UpdatesSent, pr.BytesOut = p.node.PeerOut(id)
+		}
+		pr.Decisions = p.decisions.PeerStats(id)
+		pr.Divergence = pr.Decisions.Divergence()
+		rep.Peers = append(rep.Peers, pr)
+	}
+	rep.RecentFalse = p.decisions.Recent()
+	return rep
+}
+
+// MeshHandler serves MeshReport at /debug/mesh (HTML, or JSON with
+// ?format=json), rebuilt per request so the view is always live.
+func (p *Proxy) MeshHandler() http.Handler {
+	return meshhealth.NewHandler(func() []meshhealth.Report {
+		return []meshhealth.Report{p.MeshReport()}
+	})
+}
+
 // --- cache body bookkeeping ---
 
 func (p *Proxy) onInsert(e lru.Entry) {
@@ -723,14 +898,15 @@ func (p *Proxy) onEvict(e lru.Entry, ev lru.Event) {
 	}
 }
 
-func (p *Proxy) cachedBody(key string) ([]byte, bool) {
-	if _, ok := p.cache.Get(key); !ok {
-		return nil, false
+func (p *Proxy) cachedBody(key string) ([]byte, int64, bool) {
+	e, ok := p.cache.Get(key)
+	if !ok {
+		return nil, 0, false
 	}
 	p.bodyMu.RLock()
 	body, ok := p.bodies[key]
 	p.bodyMu.RUnlock()
-	return body, ok
+	return body, e.Version, ok
 }
 
 func (p *Proxy) storeBody(key string, version int64, body []byte) {
@@ -789,10 +965,15 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (p *Proxy) serveCacheOnly(w http.ResponseWriter, r *http.Request) {
 	key := r.URL.Query().Get("url")
-	body, ok := p.cachedBody(key)
+	body, version, ok := p.cachedBody(key)
 	if !ok {
 		http.Error(w, "not cached", http.StatusNotFound)
 		return
+	}
+	if version != 0 {
+		// The sibling compares this against the version it wants — the
+		// stale-hit detection of version-aware mode.
+		w.Header().Set(docVersionHeader, strconv.FormatInt(version, 10))
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
@@ -829,8 +1010,20 @@ func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, tar
 		return ""
 	}
 
+	// In version-aware mode the cache identity is the target with the
+	// version parameter stripped; everywhere below — local lookup, ICP
+	// queries, summary probes, sibling fetches — operates on the key, so
+	// the whole mesh agrees on one identity per document. The origin fetch
+	// alone uses the full target (the origin needs the wanted version).
+	key, wanted := target, int64(0)
+	if p.cfg.VersionAware {
+		key, wanted = splitVersion(target)
+	}
+
 	lookupStart := time.Now()
-	if body, ok := p.cachedBody(target); ok {
+	body, cachedVersion, cached := p.cachedBody(key)
+	staleLocal := cached && p.cfg.VersionAware && cachedVersion != wanted
+	if cached && !staleLocal {
 		if tr != nil {
 			tr.AddSpan(tracing.Span{
 				Name:       tracing.SpanLocalLookup,
@@ -843,12 +1036,21 @@ func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, tar
 		writeDoc(w, body)
 		return outcomeLocalHit
 	}
+	if staleLocal {
+		// A cached but out-of-date copy is a miss in the paper's hit
+		// accounting; the fresh fetch below replaces it.
+		p.metrics.localStale.Inc()
+	}
 	if tr != nil {
+		actual := "miss"
+		if staleLocal {
+			actual = "stale_local"
+		}
 		tr.AddSpan(tracing.Span{
 			Name:       tracing.SpanLocalLookup,
 			Start:      lookupStart,
 			DurationUS: time.Since(lookupStart).Microseconds(),
-			Actual:     "miss",
+			Actual:     actual,
 		})
 	}
 
@@ -860,11 +1062,11 @@ func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, tar
 	if tr != nil {
 		ctx = tracing.NewContext(ctx, tr)
 	}
-	body, ok, falseHit := p.tryRemote(ctx, target)
+	body, ok, falseHit, staleHit := p.tryRemote(ctx, key, wanted)
 	if ok {
 		p.metrics.remoteHits.Inc()
 		if !p.cfg.SingleCopy {
-			p.storeBody(target, 0, body) // simple sharing: cache the remote copy
+			p.storeBody(key, wanted, body) // simple sharing: cache the remote copy
 		}
 		writeDoc(w, body)
 		return outcomeRemoteHit
@@ -879,14 +1081,43 @@ func (p *Proxy) serveProxyClassified(w http.ResponseWriter, r *http.Request, tar
 		http.Error(w, "origin fetch failed: "+err.Error(), http.StatusBadGateway)
 		return ""
 	}
+	if p.cfg.VersionAware && version == 0 {
+		version = wanted // origin did not echo a version header
+	}
 	p.metrics.misses.Inc()
-	p.storeBody(target, version, body)
+	p.storeBody(key, version, body)
 	writeDoc(w, body)
+	if staleHit {
+		p.metrics.staleHits.Inc()
+		return outcomeStaleHit
+	}
 	if falseHit {
 		p.metrics.falseHits.Inc()
 		return outcomeFalseHit
 	}
 	return outcomeMiss
+}
+
+// splitVersion derives a target URL's version-aware cache identity: the
+// URL with the version parameter stripped, plus the wanted version (0 when
+// the target carries none or does not parse).
+func splitVersion(target string) (key string, version int64) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return target, 0
+	}
+	q := u.Query()
+	v := q.Get(versionParam)
+	if v == "" {
+		return target, 0
+	}
+	version, err = strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return target, 0
+	}
+	q.Del(versionParam)
+	u.RawQuery = q.Encode()
+	return u.String(), version
 }
 
 func writeDoc(w http.ResponseWriter, body []byte) {
@@ -896,22 +1127,24 @@ func writeDoc(w http.ResponseWriter, body []byte) {
 }
 
 // tryRemote resolves a local miss against the siblings. It returns the
-// document when some sibling both claimed and delivered it; falseHit
-// reports a failed indication — a claimed HIT that was not delivered, or
-// summary candidates that all replied MISS (the paper's false hits).
-func (p *Proxy) tryRemote(ctx context.Context, target string) (body []byte, ok, falseHit bool) {
+// document when some sibling both claimed and delivered a usable copy;
+// falseHit reports a failed indication — a claimed HIT that was not
+// delivered, or summary candidates that all replied MISS (the paper's
+// false hits) — and staleHit a delivered copy of the wrong version
+// (version-aware mode; the paper's remote stale hits).
+func (p *Proxy) tryRemote(ctx context.Context, key string, wanted int64) (body []byte, ok, falseHit, staleHit bool) {
 	switch p.cfg.Mode {
 	case ModeICP:
 		p.peerMu.RLock()
 		peers := append([]*net.UDPAddr(nil), p.icpPeers...)
 		p.peerMu.RUnlock()
 		if len(peers) == 0 {
-			return nil, false, false
+			return nil, false, false, false
 		}
 		qctx, cancel := context.WithTimeout(ctx, p.cfg.QueryTimeout)
 		defer cancel()
 		qstart := time.Now()
-		hit, from, reqNum, err := p.icpConn.QueryAll(qctx, peers, target)
+		hit, from, reqNum, err := p.icpConn.QueryAll(qctx, peers, key)
 		if tr := tracing.FromContext(ctx); tr != nil {
 			// Adopt the exchange's derived ID so the answering proxies'
 			// traces join this one.
@@ -934,26 +1167,56 @@ func (p *Proxy) tryRemote(ctx context.Context, target string) (body []byte, ok, 
 		if err != nil || !hit {
 			// Classic ICP asked everyone; an all-miss round is an
 			// ordinary miss, not a false indication.
-			return nil, false, false
+			return nil, false, false, false
 		}
-		body, ok = p.fetchPeer(ctx, from, target)
-		return body, ok, !ok
+		return p.finishPeerFetch(ctx, from, key, wanted)
 	case ModeSCICP:
-		from, candidates, err := p.node.Lookup(ctx, target)
+		from, candidates, err := p.node.Lookup(ctx, key)
 		if err != nil {
-			return nil, false, false
+			return nil, false, false, false
 		}
 		if from == nil {
 			// Summaries nominated candidates but every reply was MISS.
-			return nil, false, candidates > 0
+			return nil, false, candidates > 0, false
 		}
-		body, ok = p.fetchPeer(ctx, from, target)
-		return body, ok, !ok
+		return p.finishPeerFetch(ctx, from, key, wanted)
 	}
-	return nil, false, false
+	return nil, false, false, false
 }
 
-func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string) (body []byte, ok bool) {
+// finishPeerFetch fetches the document a sibling claimed to have and
+// classifies the result: delivered fresh, delivered stale, or not
+// delivered at all — the last two charged to the claiming sibling in the
+// per-peer decision accounting.
+func (p *Proxy) finishPeerFetch(ctx context.Context, from *net.UDPAddr, key string, wanted int64) (body []byte, ok, falseHit, staleHit bool) {
+	id := from.String()
+	body, version, ok := p.fetchPeer(ctx, from, key)
+	if !ok {
+		// A claimed HIT that was not delivered (eviction race, dark
+		// sibling, open breaker) is a false hit charged to the claimer.
+		p.decisions.FalseHit(id, key, traceIDFrom(ctx))
+		return nil, false, true, false
+	}
+	if p.cfg.VersionAware && version != wanted {
+		p.decisions.StaleHit(id, key, traceIDFrom(ctx))
+		if tr := tracing.FromContext(ctx); tr != nil {
+			tr.MarkAnomalous("stale_hit")
+		}
+		return nil, false, false, true
+	}
+	return body, true, false, false
+}
+
+// traceIDFrom extracts the context's trace ID for decision attribution
+// ("" when untraced).
+func traceIDFrom(ctx context.Context) string {
+	if tr := tracing.FromContext(ctx); tr != nil {
+		return tr.ID().String()
+	}
+	return ""
+}
+
+func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string) (body []byte, version int64, ok bool) {
 	id := peer.String()
 	actual := "failed"
 	if tr := tracing.FromContext(ctx); tr != nil {
@@ -977,16 +1240,16 @@ func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string)
 		if tr := tracing.FromContext(ctx); tr != nil {
 			tr.MarkAnomalous("breaker_open")
 		}
-		return nil, false
+		return nil, 0, false
 	}
 	p.peerMu.RLock()
 	base := p.peerHTTP[id]
 	p.peerMu.RUnlock()
 	if base == "" {
-		return nil, false
+		return nil, 0, false
 	}
 	p.metrics.peerFetches.Inc()
-	body, ok = p.fetchPeerOnce(ctx, base, target)
+	body, version, ok = p.fetchPeerOnce(ctx, base, target)
 	if br != nil {
 		if ok {
 			if br.Success() {
@@ -1004,13 +1267,15 @@ func (p *Proxy) fetchPeer(ctx context.Context, peer *net.UDPAddr, target string)
 	if ok {
 		actual = "ok"
 	}
-	return body, ok
+	return body, version, ok
 }
 
-// fetchPeerOnce issues one bounded cache-only fetch against a sibling.
-// Sibling fetches are never retried — the origin fallback is always
-// available and strictly cheaper than a second trip to a flaky sibling.
-func (p *Proxy) fetchPeerOnce(ctx context.Context, base, target string) (body []byte, ok bool) {
+// fetchPeerOnce issues one bounded cache-only fetch against a sibling,
+// reporting the delivered document's version (0 when the sibling sent
+// none). Sibling fetches are never retried — the origin fallback is
+// always available and strictly cheaper than a second trip to a flaky
+// sibling.
+func (p *Proxy) fetchPeerOnce(ctx context.Context, base, target string) (body []byte, version int64, ok bool) {
 	if p.fetchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.fetchTimeout)
@@ -1019,22 +1284,25 @@ func (p *Proxy) fetchPeerOnce(ctx context.Context, base, target string) (body []
 	u := base + CacheOnlyPath + "?url=" + url.QueryEscape(target)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return nil, false // race: sibling evicted it (a false hit after all)
+		return nil, 0, false // race: sibling evicted it (a false hit after all)
 	}
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
-	return body, true
+	if v := resp.Header.Get(docVersionHeader); v != "" {
+		version, _ = strconv.ParseInt(v, 10, 64)
+	}
+	return body, version, true
 }
 
 // fetchOrigin fetches a document from the origin (or the parent proxy),
@@ -1126,7 +1394,7 @@ func (p *Proxy) fetchOriginOnce(ctx context.Context, fetchURL string) (body []by
 	if err != nil {
 		return nil, 0, true, err
 	}
-	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+	if v := resp.Header.Get(docVersionHeader); v != "" {
 		version, _ = strconv.ParseInt(v, 10, 64)
 	}
 	return body, version, false, nil

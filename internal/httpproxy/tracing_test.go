@@ -298,7 +298,7 @@ func TestDisabledTracingLocalHitNoExtraAllocs(t *testing.T) {
 	}
 
 	baseline := testing.AllocsPerRun(500, func() {
-		if _, ok := p.cachedBody(u); !ok {
+		if _, _, ok := p.cachedBody(u); !ok {
 			t.Fatal("document fell out of cache")
 		}
 	})
@@ -309,7 +309,7 @@ func TestDisabledTracingLocalHitNoExtraAllocs(t *testing.T) {
 		if p.tracer != nil {
 			tr = p.tracer.StartRequest("x", u)
 		}
-		if _, ok := p.cachedBody(u); !ok {
+		if _, _, ok := p.cachedBody(u); !ok {
 			t.Fatal("document fell out of cache")
 		}
 		if tr != nil {

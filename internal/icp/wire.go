@@ -124,6 +124,17 @@ type DirUpdate struct {
 	Flips []bloom.Flip
 }
 
+// WireBytes returns the size of the DIRUPDATE datagram that carried (or
+// would carry) u — ICP header, extension header, and flip records. This is
+// the per-peer byte accounting the mesh-health tracker charges for an
+// applied update.
+func (u *DirUpdate) WireBytes() int {
+	if u == nil {
+		return 0
+	}
+	return HeaderLen + DirUpdateHeaderLen + 4*len(u.Flips)
+}
+
 // Message is one ICP datagram.
 type Message struct {
 	Op         Opcode

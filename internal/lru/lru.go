@@ -95,6 +95,28 @@ type shard struct {
 
 	hits, misses                     uint64
 	evCapacity, evRemoved, evUpdated uint64
+
+	// contended counts per-key operations that found the shard lock held
+	// and had to block. It is atomic because the count is taken before the
+	// lock is acquired; everything else above stays lock-guarded.
+	contended atomic.Uint64
+}
+
+// lockSlow is the contended half of the per-key locking idiom
+//
+//	if !s.mu.TryLock() {
+//		s.lockSlow()
+//	}
+//
+// open-coded at every call site so the uncontended path is exactly one
+// inlined CAS (a wrapper method exceeds the inlining budget and would tax
+// every operation with a call frame); only acquisitions that actually
+// found the lock held pay this call and the extra atomic increment.
+//
+//go:noinline
+func (s *shard) lockSlow() {
+	s.contended.Add(1)
+	s.mu.Lock()
 }
 
 // Cache is a byte-budget LRU cache of documents. It is safe for concurrent
@@ -264,7 +286,9 @@ func (c *Cache) Cacheable(size int64) bool {
 // Entry.Version against the request's expected version for that.
 func (c *Cache) Get(key string) (Entry, bool) {
 	s := c.shardFor(key)
-	s.mu.Lock()
+	if !s.mu.TryLock() {
+		s.lockSlow()
+	}
 	el, ok := s.items[key]
 	if !ok {
 		s.misses++
@@ -286,7 +310,9 @@ func (c *Cache) Get(key string) (Entry, bool) {
 // accounting. Summaries and tests use this.
 func (c *Cache) Peek(key string) (Entry, bool) {
 	s := c.shardFor(key)
-	s.mu.Lock()
+	if !s.mu.TryLock() {
+		s.lockSlow()
+	}
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
@@ -306,7 +332,9 @@ func (c *Cache) Contains(key string) bool {
 // serves a remote hit. It reports whether the key was present.
 func (c *Cache) Touch(key string) bool {
 	s := c.shardFor(key)
-	s.mu.Lock()
+	if !s.mu.TryLock() {
+		s.lockSlow()
+	}
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
@@ -349,7 +377,9 @@ func (c *Cache) Put(e Entry) (stored bool) {
 	}
 	s := c.shardFor(e.Key)
 	var evs []event
-	s.mu.Lock()
+	if !s.mu.TryLock() {
+		s.lockSlow()
+	}
 	if el, ok := s.items[e.Key]; ok {
 		nd := el.Value.(*node)
 		old := nd.e
@@ -384,7 +414,9 @@ func (c *Cache) Put(e Entry) (stored bool) {
 // Remove deletes key, reporting whether it was present.
 func (c *Cache) Remove(key string) bool {
 	s := c.shardFor(key)
-	s.mu.Lock()
+	if !s.mu.TryLock() {
+		s.lockSlow()
+	}
 	el, ok := s.items[key]
 	if !ok {
 		s.mu.Unlock()
@@ -481,6 +513,10 @@ type Counters struct {
 	// the staleness invalidations of the paper's modified-document
 	// accounting.
 	EvictedCapacity, Removed, Updated uint64
+	// LockContentions counts per-key operations that found their shard
+	// lock held — the contention signal behind the ROADMAP hot-path
+	// reclaim item.
+	LockContentions uint64
 }
 
 // Counters snapshots all lifetime counters at once.
@@ -495,9 +531,57 @@ func (c *Cache) Counters() Counters {
 		out.Removed += s.evRemoved
 		out.Updated += s.evUpdated
 		s.mu.Unlock()
+		out.LockContentions += s.contended.Load()
 	}
 	return out
 }
+
+// ShardStats describes one stripe's occupancy and activity — the
+// distribution view behind the per-shard gauges at /metrics. Uneven
+// Entries/Bytes across shards means the key hash is clumping; a high
+// LockContentions on one shard means a hot key set serializes there.
+type ShardStats struct {
+	Shard           int
+	Entries         int
+	Bytes, Capacity int64
+	Hits, Misses    uint64
+	LockContentions uint64
+}
+
+// ShardStat snapshots one stripe (zero value for an out-of-range index).
+func (c *Cache) ShardStat(i int) ShardStats {
+	if i < 0 || i >= len(c.shards) {
+		return ShardStats{}
+	}
+	s := &c.shards[i]
+	s.mu.Lock()
+	out := ShardStats{
+		Shard:    i,
+		Entries:  s.ll.Len(),
+		Bytes:    s.bytes,
+		Capacity: s.capacity,
+		Hits:     s.hits,
+		Misses:   s.misses,
+	}
+	s.mu.Unlock()
+	out.LockContentions = s.contended.Load()
+	return out
+}
+
+// ShardStats snapshots every stripe. Shards are snapshotted one at a time;
+// the view is per-shard consistent, not globally atomic.
+func (c *Cache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i := range c.shards {
+		out[i] = c.ShardStat(i)
+	}
+	return out
+}
+
+// ClockTicks returns the number of advances of the global recency clock —
+// every tick is one atomic.Add on a cache line shared by all shards, so
+// the tick rate bounds how hard the stamp counter can contend.
+func (c *Cache) ClockTicks() uint64 { return c.clock.Load() }
 
 // Clear empties the cache without firing eviction callbacks.
 func (c *Cache) Clear() {

@@ -1,0 +1,125 @@
+package meshhealth
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// NewHandler serves the mesh-health view, meant to be mounted at
+// /debug/mesh beside /debug/traces:
+//
+//	GET /debug/mesh              HTML peer table (one section per report)
+//	GET /debug/mesh?format=json  the same as JSON
+//
+// report is called per request so the view is always live. Trace IDs in
+// the recent-false-decision trail link to /debug/traces?id=<hex>.
+func NewHandler(report func() []Report) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reports := report()
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(reports)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeHTML(w, reports)
+	})
+}
+
+func writeHTML(w http.ResponseWriter, reports []Report) {
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><title>mesh health</title><style>
+body{font-family:monospace;margin:1.5em}
+table{border-collapse:collapse;margin:0.5em 0 1.5em}
+th,td{border:1px solid #999;padding:2px 8px;text-align:right}
+th{background:#eee}
+td.l,th.l{text-align:left}
+.bad{color:#b00;font-weight:bold}
+.dim{color:#777}
+</style></head><body><h1>mesh health</h1>
+<p class="dim">paper taxonomy: <b>false hit</b> = summary said yes, peer had no usable copy;
+<b>false miss</b> = summary said no, an audit query found a copy;
+<b>stale hit</b> = peer delivered an out-of-date version.</p>
+`)
+	for _, r := range reports {
+		fmt.Fprintf(w, "<h2>%s (mode %s", html.EscapeString(r.Proxy), html.EscapeString(r.Mode))
+		if r.Node != "" {
+			fmt.Fprintf(w, ", icp %s", html.EscapeString(r.Node))
+		}
+		fmt.Fprint(w, ")</h2>\n")
+
+		fmt.Fprint(w, `<table><tr><th class="l">local advertisement</th><th>value</th></tr>`)
+		localRow := func(name, val string) {
+			fmt.Fprintf(w, `<tr><td class="l">%s</td><td>%s</td></tr>`, name, val)
+		}
+		localRow("directory docs", fmt.Sprintf("%d", r.Local.DirectoryDocs))
+		localRow("pending (unadvertised) flips", fmt.Sprintf("%d", r.Local.PendingFlips))
+		if r.Local.LastAdvertAgeMS < 0 {
+			localRow("last advert", "never")
+		} else {
+			localRow("last advert age", fmtMS(r.Local.LastAdvertAgeMS))
+		}
+		localRow("update events / messages", fmt.Sprintf("%d / %d", r.Local.UpdateEvents, r.Local.UpdatesSent))
+		localRow("advert bytes full / delta", fmt.Sprintf("%d / %d", r.Local.FullBytesOut, r.Local.DeltaBytesOut))
+		localRow("cache entries / bytes", fmt.Sprintf("%d / %d", r.Local.CacheEntries, r.Local.CacheBytes))
+		fmt.Fprint(w, "</table>\n")
+
+		fmt.Fprint(w, `<table><tr><th class="l">peer</th><th>up</th><th>breaker</th><th>gen</th><th>update age</th><th>fill</th><th>est FPR</th><th>bits</th><th>upd full/delta</th><th>bytes in</th><th>sent</th><th>bytes out</th><th>nom</th><th>rhit</th><th>fhit</th><th>fmiss</th><th>stale</th><th>divergence</th></tr>`)
+		for _, p := range r.Peers {
+			up := "yes"
+			if !p.Up {
+				up = `<span class="bad">no</span>`
+			}
+			age := "—"
+			if p.HasReplica {
+				age = fmtMS(p.UpdateAgeMS)
+			}
+			div := fmt.Sprintf("%.4f", p.Divergence)
+			if p.Divergence > 0.05 {
+				div = `<span class="bad">` + div + `</span>`
+			}
+			fmt.Fprintf(w,
+				`<tr><td class="l">%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%.3f</td><td>%.2e</td><td>%d</td><td>%d/%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>`,
+				html.EscapeString(p.Peer), up, html.EscapeString(p.Breaker),
+				p.Generation, age, p.FillRatio, p.EstFalsePositive, p.FilterBits,
+				p.FullUpdates, p.DeltaUpdates, p.BytesIn, p.UpdatesSent, p.BytesOut,
+				p.Decisions.Nominations, p.Decisions.RemoteHits, p.Decisions.FalseHits,
+				p.Decisions.FalseMisses, p.Decisions.StaleHits, div)
+		}
+		fmt.Fprint(w, "</table>\n")
+
+		if len(r.RecentFalse) > 0 {
+			fmt.Fprint(w, `<h3>recent false decisions</h3><table><tr><th class="l">kind</th><th class="l">peer</th><th class="l">url</th><th class="l">trace</th><th>age</th></tr>`)
+			for _, d := range r.RecentFalse {
+				link := `<span class="dim">untraced</span>`
+				if d.TraceID != "" {
+					link = fmt.Sprintf(`<a href="/debug/traces?id=%s">%s</a>`,
+						html.EscapeString(d.TraceID), html.EscapeString(d.TraceID))
+				}
+				fmt.Fprintf(w, `<tr><td class="l">%s</td><td class="l">%s</td><td class="l">%s</td><td class="l">%s</td><td>%s</td></tr>`,
+					html.EscapeString(d.Kind), html.EscapeString(d.Peer),
+					html.EscapeString(d.URL), link, fmtMS(float64(time.Since(d.Time).Milliseconds())))
+			}
+			fmt.Fprint(w, "</table>\n")
+		}
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+func fmtMS(ms float64) string {
+	d := time.Duration(ms * float64(time.Millisecond))
+	switch {
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return d.Truncate(time.Second).String()
+	}
+}

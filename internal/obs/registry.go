@@ -210,6 +210,65 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 	return s.hist
 }
 
+// matchesKey reports whether the canonical series key contains every
+// name="value" segment of ls. Segment boundaries are unambiguous because
+// escapeLabel never leaves a raw `"` inside a value.
+func matchesKey(key string, segs []string) bool {
+	for _, seg := range segs {
+		if key == seg ||
+			strings.HasPrefix(key, seg+",") ||
+			strings.HasSuffix(key, ","+seg) ||
+			strings.Contains(key, ","+seg+",") {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Unregister removes every series whose label set includes all of the given
+// name="value" pairs, across every family. Families left empty are dropped
+// entirely so Names() and the exposition stay in lockstep (the parity-test
+// invariant). It returns the number of series removed.
+//
+// This is the peer-churn lifecycle hook: when a peer leaves the mesh, its
+// peer-keyed gauges and counters (breaker state, divergence, per-peer
+// decision counters) must not linger as stale series.
+func (r *Registry) Unregister(ls Labels) int {
+	if len(ls) == 0 {
+		return 0
+	}
+	segs := make([]string, len(ls))
+	for i, l := range ls {
+		segs[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := 0
+	for name, f := range r.families {
+		kept := f.order[:0]
+		for _, key := range f.order {
+			if matchesKey(key, segs) {
+				delete(f.series, key)
+				removed++
+				continue
+			}
+			kept = append(kept, key)
+		}
+		f.order = kept
+		if len(f.series) == 0 {
+			delete(r.families, name)
+			for i, n := range r.names {
+				if n == name {
+					r.names = append(r.names[:i], r.names[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return removed
+}
+
 // Names returns the sorted names of every metric family ever registered,
 // whether or not it has been scraped. This is the ground truth the
 // Stats()==scrape parity tests diff the exposition against.

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnregisterDropsPeerSeries is the peer-churn lifecycle regression: a
+// removed peer's series must vanish from the exposition while unrelated
+// series (same family, other peers) survive.
+func TestUnregisterDropsPeerSeries(t *testing.T) {
+	r := NewRegistry()
+	base := L("proxy", "127.0.0.1:1")
+	r.Counter("summarycache_test_hits_total", "h", base.With("peer", "a")).Add(3)
+	r.Counter("summarycache_test_hits_total", "h", base.With("peer", "b")).Add(5)
+	r.GaugeFunc("summarycache_test_breaker_state", "g", base.With("peer", "a"), func() float64 { return 1 })
+	r.Counter("summarycache_test_requests_total", "r", base).Inc()
+
+	removed := r.Unregister(base.With("peer", "a"))
+	if removed != 2 {
+		t.Fatalf("Unregister removed %d series, want 2", removed)
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if strings.Contains(out, `peer="a"`) {
+		t.Fatalf("stale peer=a series survived unregistration:\n%s", out)
+	}
+	if !strings.Contains(out, `peer="b"`) {
+		t.Fatalf("unrelated peer=b series was dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "summarycache_test_requests_total") {
+		t.Fatalf("unlabeled-peer series was dropped:\n%s", out)
+	}
+
+	// The breaker family had only peer=a series — it must be gone from
+	// Names() too, keeping the Stats()==scrape parity invariant.
+	for _, n := range r.Names() {
+		if n == "summarycache_test_breaker_state" {
+			t.Fatalf("empty family %q still listed in Names()", n)
+		}
+	}
+
+	// Re-registering after removal must work (peer rejoins).
+	r.Counter("summarycache_test_hits_total", "h", base.With("peer", "a")).Inc()
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `peer="a"`) {
+		t.Fatalf("re-registered peer=a series missing:\n%s", b.String())
+	}
+}
+
+// TestUnregisterValueBoundaries checks the segment matcher does not confuse
+// a label value that embeds another pair's text with a real label pair.
+func TestUnregisterValueBoundaries(t *testing.T) {
+	r := NewRegistry()
+	// Value contains a raw `peer="a"` — escaped in the canonical key, so it
+	// must NOT match the peer=a segment.
+	r.Counter("summarycache_test_x_total", "x", L("url", `q?peer="a"`, "peer", "b")).Inc()
+	if n := r.Unregister(L("peer", "a")); n != 0 {
+		t.Fatalf("Unregister matched inside an escaped value (removed %d)", n)
+	}
+	if n := r.Unregister(L("peer", "b")); n != 1 {
+		t.Fatalf("Unregister missed the real pair (removed %d)", n)
+	}
+}
