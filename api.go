@@ -23,6 +23,7 @@ import (
 	"summarycache/internal/meshhealth"
 	"summarycache/internal/obs"
 	"summarycache/internal/origin"
+	"summarycache/internal/perfwatch"
 	"summarycache/internal/sim"
 	"summarycache/internal/trace"
 	"summarycache/internal/tracegen"
@@ -357,8 +358,58 @@ type TracerConfig = tracing.Config
 // DefaultTraceBuffer is the default trace ring-buffer capacity.
 const DefaultTraceBuffer = tracing.DefaultBuffer
 
+// TracerSink observes every span and trace completion regardless of
+// sampling — set TracerConfig.Sink to a *PerfWatch to feed the per-stage
+// latency decomposition and SLO engine.
+type TracerSink = tracing.SpanSink
+
 // NewTracer creates a Tracer.
 func NewTracer(cfg TracerConfig) *Tracer { return tracing.New(cfg) }
+
+// --- performance observability (internal/perfwatch) ---
+
+// PerfWatch decomposes request latency into per-stage histograms
+// (summarycache_perf_stage_seconds{stage=...}), evaluates named SLOs with
+// error-budget burn rates, and captures a bounded ring of pprof profiles
+// when an objective's burn trips. Wire one Watch as both
+// TracerConfig.Sink (span-level stages, SLO stream) and ProxyConfig.Perf
+// (sub-span stages: LRU ops, DIRUPDATE codec, per-reply ICP RTT); serve
+// its SLOHandler at /debug/slo and PerfHandler at /debug/perf. A nil
+// *PerfWatch is a valid disabled watch.
+type PerfWatch = perfwatch.Watch
+
+// PerfConfig parameterizes a PerfWatch.
+type PerfConfig = perfwatch.Config
+
+// PerfObjective is one named service-level objective: a latency ceiling,
+// an error-rate budget, or a ratio of caller-supplied counters (e.g.
+// false hits over client requests).
+type PerfObjective = perfwatch.Objective
+
+// SLOStatus is one objective's state at the last evaluation — burn rate,
+// breach flag, window and lifetime counts — as served at /debug/slo.
+type SLOStatus = perfwatch.SLOStatus
+
+// PerfStageSummary is one row of the per-stage latency breakdown.
+type PerfStageSummary = perfwatch.StageSummary
+
+// PerfCaptureConfig configures anomaly-triggered pprof capture: ring
+// size, CPU-profile duration, and the rate-limit interval.
+type PerfCaptureConfig = perfwatch.CaptureConfig
+
+// PerfCapture is one captured profile set in the /debug/perf ring.
+type PerfCapture = perfwatch.Capture
+
+// PerfObjective kinds: latency thresholds, outcome error rates, and
+// counter ratios.
+const (
+	PerfKindLatency   = perfwatch.KindLatency
+	PerfKindErrorRate = perfwatch.KindErrorRate
+	PerfKindRatio     = perfwatch.KindRatio
+)
+
+// NewPerfWatch creates a PerfWatch.
+func NewPerfWatch(cfg PerfConfig) *PerfWatch { return perfwatch.New(cfg) }
 
 // --- the synthetic origin farm (internal/origin) ---
 

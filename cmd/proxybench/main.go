@@ -53,6 +53,7 @@ var (
 	adminAddr  = flag.String("admin", "", "admin listen address serving /metrics, /debug/vars and /debug/pprof/ for the live mesh (empty: disabled)")
 	traceRate  = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for request traces; anomalous traces are always kept once tracing is on")
 	traceBuf   = flag.Int("trace-buffer", 0, "trace ring-buffer capacity (0 with -trace-sample=0: tracing disabled)")
+	sloP99     = flag.Duration("slo", 0, "client latency SLO threshold: each mesh run gets a per-stage latency breakdown and a client_p99 objective at this threshold (budget 0.01), and proxybench exits non-zero when any run breaches (0: disabled)")
 )
 
 // current is the registry (and tracer) of the mesh currently running; each
@@ -62,19 +63,35 @@ var (
 var (
 	current       atomic.Pointer[sc.Registry]
 	currentTracer atomic.Pointer[sc.Tracer]
+	currentWatch  atomic.Pointer[sc.PerfWatch]
+	sloBreaches   int // mesh runs whose -slo objective breached
 )
 
 func tracingOn() bool { return *traceRate > 0 || *traceBuf > 0 }
+func perfOn() bool    { return *sloP99 > 0 }
 
 func newRunRegistry() *sc.Registry {
 	reg := sc.NewRegistry()
 	sc.RegisterRuntimeMetrics(reg)
 	current.Store(reg)
-	if tracingOn() {
+	if perfOn() {
+		currentWatch.Store(sc.NewPerfWatch(sc.PerfConfig{
+			Registry: reg,
+			Objectives: []sc.PerfObjective{{
+				Name:      "client_p99",
+				Threshold: *sloP99,
+				Budget:    0.01,
+			}},
+		}))
+	}
+	// A perf watch needs a tracer to feed it spans, even when no traces
+	// are retained (-trace-sample=0 keeps only anomalous ones).
+	if tracingOn() || perfOn() {
 		currentTracer.Store(sc.NewTracer(sc.TracerConfig{
 			HeadRate: *traceRate,
 			Buffer:   *traceBuf,
 			Registry: reg,
+			Sink:     runWatchSink(),
 		}))
 	}
 	return reg
@@ -82,6 +99,18 @@ func newRunRegistry() *sc.Registry {
 
 // runTracer returns the live run's shared tracer (nil: tracing disabled).
 func runTracer() *sc.Tracer { return currentTracer.Load() }
+
+// runWatch returns the live run's perf watch (nil: -slo disabled).
+func runWatch() *sc.PerfWatch { return currentWatch.Load() }
+
+// runWatchSink adapts runWatch for TracerConfig.Sink, whose interface a
+// typed-nil *PerfWatch would otherwise satisfy non-nil.
+func runWatchSink() sc.TracerSink {
+	if w := runWatch(); w != nil {
+		return w
+	}
+	return nil
+}
 
 var modes = []sc.ProxyMode{sc.ProxyModeNone, sc.ProxyModeICP, sc.ProxyModeSCICP}
 
@@ -135,6 +164,11 @@ func run() error {
 			if tr := runTracer(); tr != nil {
 				mounts = append(mounts, sc.Mount{Pattern: "/debug/traces", Handler: tr.Handler()})
 			}
+			if pw := runWatch(); pw != nil {
+				mounts = append(mounts,
+					sc.Mount{Pattern: "/debug/slo", Handler: pw.SLOHandler()},
+					sc.Mount{Pattern: "/debug/perf", Handler: pw.PerfHandler()})
+			}
 			sc.NewAdminHandler(current.Load(), nil, mounts...).ServeHTTP(w, r)
 		})}
 		go srv.Serve(ln)
@@ -142,6 +176,9 @@ func run() error {
 		endpoints := "/metrics /debug/vars /debug/pprof/"
 		if tracingOn() {
 			endpoints += " /debug/traces"
+		}
+		if perfOn() {
+			endpoints += " /debug/slo /debug/perf"
 		}
 		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (%s)\n", ln.Addr(), endpoints)
 	}
@@ -166,7 +203,40 @@ func run() error {
 			return err
 		}
 	}
+	if sloBreaches > 0 {
+		return fmt.Errorf("%d run(s) breached the -slo=%v client_p99 objective", sloBreaches, *sloP99)
+	}
 	return nil
+}
+
+// checkSLO closes the finished run's SLO window, prints the per-stage
+// latency breakdown and objective verdict, and tallies a breach. No-op
+// without -slo.
+func checkSLO(mode sc.ProxyMode) {
+	pw := runWatch()
+	if pw == nil {
+		return
+	}
+	fmt.Printf("-- stage breakdown (%v) --\n", mode)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\tcount\ttotal\tp50\tp99")
+	for _, s := range pw.Stages() {
+		fmt.Fprintf(w, "%s\t%d\t%.3fs\t%v\t%v\n",
+			s.Stage, s.Count, s.Sum,
+			time.Duration(s.P50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(s.P99*float64(time.Second)).Round(time.Microsecond))
+	}
+	w.Flush()
+	for _, st := range pw.Evaluate() {
+		verdict := "ok"
+		if st.Breached {
+			verdict = "BREACHED"
+			sloBreaches++
+		}
+		fmt.Printf("slo %s: %s (burn %.2f, %d/%d bad over budget %.4f)\n",
+			st.Name, verdict, st.BurnRate, st.WindowBad, st.WindowTotal, st.Budget)
+	}
+	fmt.Println()
 }
 
 func render(title string, results []sc.BenchResult) {
@@ -201,11 +271,13 @@ func table2(hitRatio float64) error {
 			Chaos:             chaosScenario(),
 			Metrics:           newRunRegistry(),
 			Tracer:            runTracer(),
+			Perf:              runWatch(),
 		})
 		if err != nil {
 			return err
 		}
 		results = append(results, r)
+		checkSLO(m)
 	}
 	render(fmt.Sprintf("Table II: ICP overhead, 4 proxies, inherent hit ratio %.0f%%, no inter-proxy hits", 100*hitRatio), results)
 	return nil
@@ -297,11 +369,13 @@ func replay(a sc.Assignment, title string) error {
 			Chaos:         chaosScenario(),
 			Metrics:       newRunRegistry(),
 			Tracer:        runTracer(),
+			Perf:          runWatch(),
 		})
 		if err != nil {
 			return err
 		}
 		results = append(results, r)
+		checkSLO(m)
 	}
 	render(title, results)
 	return nil

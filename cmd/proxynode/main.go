@@ -18,6 +18,11 @@
 // (per-peer summary divergence and false-decision accounting) at
 // /debug/mesh, and — when -trace-sample or -trace-buffer enables
 // tracing — request traces with summary-decision audits at /debug/traces.
+// The -slo-latency-p99 and -slo-false-hit flags add named service-level
+// objectives with error-budget burn-rate tracking at /debug/slo; with
+// -perf-profile-capture, an SLO breach additionally captures a
+// rate-limited ring of pprof profiles served at /debug/perf, and the
+// breaching requests' traces are always retained at /debug/traces.
 package main
 
 import (
@@ -57,6 +62,14 @@ var (
 		"head-sampling rate in [0,1] for request traces; anomalous traces (false hits, timeouts) are always kept once tracing is on")
 	traceBuf = flag.Int("trace-buffer", 0,
 		"trace ring-buffer capacity (0 with -trace-sample=0: tracing disabled entirely)")
+	sloLatency = flag.Duration("slo-latency-p99", 0,
+		"client latency SLO: requests slower than this are error-budget burn (budget 0.01) and their traces are always retained (0: no latency objective)")
+	sloFalseHit = flag.Float64("slo-false-hit", 0,
+		"false-hit ratio SLO ceiling: false hits over client requests above this ratio burn the error budget (0: no false-hit objective)")
+	perfCapture = flag.Bool("perf-profile-capture", false,
+		"on SLO breach, capture a rate-limited ring of pprof profiles (5s CPU + heap/mutex/block), served at /debug/perf")
+	sloEvalSec = flag.Duration("slo-interval", 10*time.Second,
+		"SLO evaluation window length")
 	peers peerList
 )
 
@@ -118,17 +131,66 @@ func run() error {
 	}
 	reg := sc.NewRegistry()
 	sc.RegisterRuntimeMetrics(reg)
+
+	// The performance watch is built before the proxy (it wires into the
+	// tracer and the proxy config), so the false-hit ratio objective reads
+	// the proxy through a reference filled in after StartProxy.
+	var proxyRef *sc.Proxy
+	var watch *sc.PerfWatch
+	if *sloLatency > 0 || *sloFalseHit > 0 || *perfCapture {
+		var objectives []sc.PerfObjective
+		if *sloLatency > 0 {
+			objectives = append(objectives, sc.PerfObjective{
+				Name:      "client_p99",
+				Threshold: *sloLatency,
+				Budget:    0.01,
+			})
+		}
+		if *sloFalseHit > 0 {
+			objectives = append(objectives, sc.PerfObjective{
+				Name:   "false_hit_ratio",
+				Budget: *sloFalseHit,
+				Num: func() uint64 {
+					if proxyRef == nil {
+						return 0
+					}
+					return proxyRef.Stats().FalseHits
+				},
+				Den: func() uint64 {
+					if proxyRef == nil {
+						return 0
+					}
+					return proxyRef.Stats().ClientRequests
+				},
+			})
+		}
+		watch = sc.NewPerfWatch(sc.PerfConfig{
+			Registry:   reg,
+			Logger:     log,
+			Objectives: objectives,
+			Capture:    sc.PerfCaptureConfig{Enabled: *perfCapture},
+		})
+	}
+
 	var tracer *sc.Tracer
-	if *traceRate > 0 || *traceBuf > 0 {
+	if *traceRate > 0 || *traceBuf > 0 || watch != nil {
 		if *traceRate < 0 || *traceRate > 1 {
 			return fmt.Errorf("-trace-sample %v outside [0,1]", *traceRate)
 		}
-		tracer = sc.NewTracer(sc.TracerConfig{
+		// The watch needs the tracer's span stream even when no explicit
+		// tracing flags are set: at head rate 0 only SLO-breaching
+		// (anomalous) traces are retained, but every span still feeds the
+		// per-stage histograms.
+		cfg := sc.TracerConfig{
 			HeadRate: *traceRate,
 			Buffer:   *traceBuf,
 			Registry: reg,
 			Logger:   log,
-		})
+		}
+		if watch != nil {
+			cfg.Sink = watch
+		}
+		tracer = sc.NewTracer(cfg)
 	}
 	cacheBytes := *cacheMB << 20
 	p, err := sc.StartProxy(sc.ProxyConfig{
@@ -145,11 +207,18 @@ func run() error {
 		Metrics:   reg,
 		Logger:    log,
 		Tracer:    tracer,
+		Perf:      watch,
 	})
 	if err != nil {
 		return err
 	}
 	defer p.Close()
+	proxyRef = p
+	if watch != nil {
+		watchStop := make(chan struct{})
+		go watch.Run(*sloEvalSec, watchStop)
+		defer close(watchStop)
+	}
 	attrs := []any{"mode", m.String(), "http", p.URL()}
 	if m != sc.ProxyModeNone {
 		attrs = append(attrs, "icp", p.ICPAddr().String())
@@ -166,6 +235,12 @@ func run() error {
 		if tracer != nil {
 			mounts = append(mounts, sc.Mount{Pattern: "/debug/traces", Handler: tracer.Handler()})
 			endpoints += " /debug/traces"
+		}
+		if watch != nil {
+			mounts = append(mounts,
+				sc.Mount{Pattern: "/debug/slo", Handler: watch.SLOHandler()},
+				sc.Mount{Pattern: "/debug/perf", Handler: watch.PerfHandler()})
+			endpoints += " /debug/slo /debug/perf"
 		}
 		mounts = append(mounts, sc.Mount{Pattern: "/debug/mesh", Handler: p.MeshHandler()})
 		endpoints += " /debug/mesh"

@@ -95,9 +95,12 @@ func TestMetricFieldName(t *testing.T) {
 		{"summarycache_node_queries_sent_total", "QueriesSent"},
 		{"summarycache_proxy_requests_total", "Requests"},
 		{"summarycache_pos_frames_dropped_total", "FramesDropped"},
-		{"summarycache_hits_total", "Hits"},            // single word: nothing to strip
-		{"summarycache_proxy_cache_hits", "CacheHits"}, // no _total suffix
-		{"plain_name_total", "Name"},                   // no summarycache_ prefix
+		{"summarycache_hits_total", "Hits"},                          // single word: nothing to strip
+		{"summarycache_proxy_cache_hits", "CacheHits"},               // no _total suffix
+		{"plain_name_total", "Name"},                                 // no summarycache_ prefix
+		{"summarycache_node_query_rtt_seconds", "QueryRTTSeconds"},   // initialism uppercased
+		{"summarycache_proxy_inflight_requests", "InflightRequests"}, // gauge, no _total
+		{"summarycache_icp_udp_send_errors_total", "UDPSendErrors"},  // leading initialism
 	}
 	for _, c := range cases {
 		if got := metricFieldName(c.metric); got != c.want {

@@ -9,28 +9,30 @@ import (
 )
 
 // statsDriftRule enforces the PR-1 contract that a Stats() snapshot and a
-// /metrics scrape read the same instruments: every *plain counter* a
-// package registers against an obs.Registry (reg.Counter with a
-// "summarycache_*" literal) must surface as an exported field of one of
-// the package's exported ...Stats structs.
+// /metrics scrape read the same instruments: every *plain instrument* a
+// package registers against an obs.Registry (reg.Counter, reg.Gauge or
+// reg.Histogram with a "summarycache_*" literal) must surface as an
+// exported field of one of the package's exported ...Stats structs
+// (histograms via their obs.HistogramSnapshot scalar form).
 //
 // Scope is deliberately narrow so the rule stays true:
-//   - only reg.Counter registrations are checked — CounterFunc/GaugeFunc
+//   - only plain registrations are checked — CounterFunc/GaugeFunc
 //     re-export state owned elsewhere (the inverse direction of the
-//     contract), gauges are instantaneous, histograms have no scalar
-//     field form;
-//   - a package with no exported Stats struct (e.g. internal/tracing,
-//     whose counters are exposition-only by design) is skipped entirely;
+//     contract);
+//   - a package with no exported Stats struct (e.g. internal/tracing and
+//     internal/perfwatch, whose instruments are exposition-only by
+//     design) is skipped entirely;
 //   - the metric name is normalized (strip "summarycache_", the
 //     component prefix word, and the "_total" suffix; CamelCase the
-//     rest) and must match a field exactly or as a field-name suffix,
-//     so "requests" matches ClientRequests.
+//     rest, uppercasing known initialisms like rtt → RTT) and must match
+//     a field exactly or as a field-name suffix, so "requests" matches
+//     ClientRequests.
 type statsDriftRule struct{}
 
 func (statsDriftRule) Name() string { return RuleStatsDrift }
 
 func (statsDriftRule) Doc() string {
-	return "every plain counter registered with obs must have a matching exported field in the package's Stats struct"
+	return "every plain counter/gauge/histogram registered with obs must have a matching exported field in the package's Stats struct"
 }
 
 // statsFields collects the exported field names of every exported struct
@@ -61,10 +63,27 @@ func statsFields(pkg *Package) (names map[string]bool, structs []string) {
 	return names, structs
 }
 
+// metricInitialisms are metric-name words rendered fully uppercase in Go
+// field names, so summarycache_node_query_rtt_seconds normalizes to
+// QueryRTTSeconds rather than QueryRttSeconds.
+var metricInitialisms = map[string]string{
+	"cpu":  "CPU",
+	"fpr":  "FPR",
+	"http": "HTTP",
+	"icp":  "ICP",
+	"id":   "ID",
+	"lru":  "LRU",
+	"rtt":  "RTT",
+	"slo":  "SLO",
+	"tcp":  "TCP",
+	"udp":  "UDP",
+	"url":  "URL",
+}
+
 // metricFieldName normalizes a registered metric name to the exported
 // field it should correspond to: summarycache_node_queries_sent_total →
 // QueriesSent (prefix, component word and _total suffix stripped, rest
-// CamelCased).
+// CamelCased with initialisms uppercased).
 func metricFieldName(metric string) string {
 	name := strings.TrimPrefix(metric, "summarycache_")
 	words := strings.Split(name, "_")
@@ -79,26 +98,47 @@ func metricFieldName(metric string) string {
 		if w == "" {
 			continue
 		}
+		if up, ok := metricInitialisms[w]; ok {
+			b.WriteString(up)
+			continue
+		}
 		b.WriteString(strings.ToUpper(w[:1]))
 		b.WriteString(w[1:])
 	}
 	return b.String()
 }
 
-// isObsCounterCall reports whether call is reg.Counter(...) on an
-// obs.Registry (matched by package name + receiver type name, so fixture
-// universes can supply their own obs shape).
-func isObsCounterCall(pkg *Package, call *ast.CallExpr) bool {
+// obsRegistrationKind returns the instrument kind ("counter", "gauge" or
+// "histogram") when call is a plain reg.Counter/Gauge/Histogram(...) on
+// an obs.Registry (matched by package name + receiver type name, so
+// fixture universes can supply their own obs shape), and "" otherwise.
+// CounterFunc/GaugeFunc deliberately do not match: they re-export state
+// owned elsewhere.
+func obsRegistrationKind(pkg *Package, call *ast.CallExpr) string {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return false
+		return ""
 	}
 	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Name() != "Counter" || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
-		return false
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return ""
+	}
+	var kind string
+	switch fn.Name() {
+	case "Counter":
+		kind = "counter"
+	case "Gauge":
+		kind = "gauge"
+	case "Histogram":
+		kind = "histogram"
+	default:
+		return ""
 	}
 	recv := fn.Type().(*types.Signature).Recv()
-	return recv != nil && strings.Contains(recv.Type().String(), "Registry")
+	if recv == nil || !strings.Contains(recv.Type().String(), "Registry") {
+		return ""
+	}
+	return kind
 }
 
 func (statsDriftRule) Check(pkg *Package, report ReportFunc) {
@@ -109,7 +149,11 @@ func (statsDriftRule) Check(pkg *Package, report ReportFunc) {
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 || !isObsCounterCall(pkg, call) {
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind := obsRegistrationKind(pkg, call)
+			if kind == "" {
 				return true
 			}
 			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
@@ -127,8 +171,8 @@ func (statsDriftRule) Check(pkg *Package, report ReportFunc) {
 				}
 			}
 			report(lit.Pos(),
-				"counter %q has no matching exported field (looked for %q, or a field ending in it, on %s); Stats() and the scrape have drifted",
-				metric, want, strings.Join(structs, ", "))
+				"%s %q has no matching exported field (looked for %q, or a field ending in it, on %s); Stats() and the scrape have drifted",
+				kind, metric, want, strings.Join(structs, ", "))
 			return true
 		})
 	}

@@ -1,6 +1,6 @@
 // Package obs is a miniature stand-in for the real metrics registry,
 // just enough surface for the stats-drift rule to recognise
-// reg.Counter(...) registrations in the sibling fixtures.
+// reg.Counter/Gauge/Histogram(...) registrations in the sibling fixtures.
 package obs
 
 // Label is one metric dimension.
@@ -15,6 +15,24 @@ type Counter struct{ n uint64 }
 // Inc bumps the counter.
 func (c *Counter) Inc() { c.n++ }
 
+// Gauge is a metric that can go up and down.
+type Gauge struct{ n int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.n = n }
+
+// Histogram buckets observations.
+type Histogram struct{ n uint64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.n++; _ = v }
+
+// HistogramSnapshot is the scalar Stats-struct form of a Histogram.
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   float64
+}
+
 // Registry registers metrics by name.
 type Registry struct{}
 
@@ -26,9 +44,35 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	return &Counter{}
 }
 
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	_ = name
+	_ = help
+	_ = labels
+	return &Gauge{}
+}
+
+// Histogram registers and returns a histogram.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	_ = name
+	_ = help
+	_ = labels
+	_ = bounds
+	return &Histogram{}
+}
+
 // CounterFunc registers a callback-backed counter; the stats-drift rule
 // deliberately ignores it.
 func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	_ = name
+	_ = help
+	_ = labels
+	_ = fn
+}
+
+// GaugeFunc registers a callback-backed gauge; the stats-drift rule
+// deliberately ignores it.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
 	_ = name
 	_ = help
 	_ = labels

@@ -1,25 +1,33 @@
 // Package ok is the stats-drift negative fixture: every registered
-// counter has a matching exported Stats field, including a suffix match
-// ("requests" → ClientRequests).
+// instrument has a matching exported Stats field, including a suffix
+// match ("requests" → ClientRequests), a gauge, a histogram carried as
+// its snapshot form, and an initialism normalization (rtt → RTT).
 package ok
 
 import "statsdrift/obs"
 
-// Stats mirrors every registered counter.
+// Stats mirrors every registered instrument.
 type Stats struct {
-	QueriesSent    uint64
-	ClientRequests uint64
+	QueriesSent     uint64
+	ClientRequests  uint64
+	InflightOps     int64
+	QueryRTTSeconds obs.HistogramSnapshot
 }
 
 type metrics struct {
 	queries  *obs.Counter
 	requests *obs.Counter
+	inflight *obs.Gauge
+	rtt      *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) metrics {
 	reg.CounterFunc("summarycache_ok_untracked_total", "callback-backed; rule skips CounterFunc", nil, func() uint64 { return 0 })
+	reg.GaugeFunc("summarycache_ok_derived_ratio", "callback-backed; rule skips GaugeFunc", nil, func() float64 { return 0 })
 	return metrics{
 		queries:  reg.Counter("summarycache_ok_queries_sent_total", "exact field match", nil),
 		requests: reg.Counter("summarycache_ok_requests_total", "suffix field match", nil),
+		inflight: reg.Gauge("summarycache_ok_inflight_ops", "gauge with exact field match", nil),
+		rtt:      reg.Histogram("summarycache_ok_query_rtt_seconds", "histogram with initialism field match", nil, nil),
 	}
 }

@@ -1,23 +1,28 @@
 // Package pos is the stats-drift positive fixture: it exports a Stats
-// struct, registers two counters, and only one of them has a matching
-// Stats field.
+// struct and registers counters, a gauge and a histogram; one instrument
+// of each kind is missing its Stats field.
 package pos
 
 import "statsdrift/obs"
 
-// Stats is the exported snapshot; FramesDropped is deliberately absent.
+// Stats is the exported snapshot; FramesDropped, InflightOps and
+// OpSeconds are deliberately absent.
 type Stats struct {
 	QueriesSent uint64
 }
 
 type metrics struct {
-	queries *obs.Counter
-	dropped *obs.Counter
+	queries  *obs.Counter
+	dropped  *obs.Counter
+	inflight *obs.Gauge
+	seconds  *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) metrics {
 	return metrics{
-		queries: reg.Counter("summarycache_pos_queries_sent_total", "queries sent", nil),
-		dropped: reg.Counter("summarycache_pos_frames_dropped_total", "frames dropped", nil), // want stats-drift
+		queries:  reg.Counter("summarycache_pos_queries_sent_total", "queries sent", nil),
+		dropped:  reg.Counter("summarycache_pos_frames_dropped_total", "frames dropped", nil), // want stats-drift
+		inflight: reg.Gauge("summarycache_pos_inflight_ops", "ops in flight", nil),            // want stats-drift
+		seconds:  reg.Histogram("summarycache_pos_op_seconds", "op latency", nil, nil),        // want stats-drift
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"summarycache/internal/httpproxy"
 	"summarycache/internal/obs"
 	"summarycache/internal/origin"
+	"summarycache/internal/perfwatch"
 	"summarycache/internal/stats"
 	"summarycache/internal/trace"
 	"summarycache/internal/tracing"
@@ -69,6 +70,10 @@ type SyntheticConfig struct {
 	// /debug/traces on the admin endpoint shows correlated request and
 	// answer traces from the whole run. Nil: tracing disabled.
 	Tracer *tracing.Tracer
+	// Perf, when set, is shared by every proxy so the run's latency is
+	// decomposed per stage and its SLOs evaluated; wire the same Watch as
+	// Tracer's sink to get the span-level stages. Nil: no timing hooks.
+	Perf *perfwatch.Watch
 }
 
 func (c *SyntheticConfig) applyDefaults() {
@@ -144,7 +149,7 @@ type testbed struct {
 	client    *http.Client
 }
 
-func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int, chaos *faultnet.Scenario, reg *obs.Registry, tracer *tracing.Tracer) (*testbed, error) {
+func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatency time.Duration, threshold float64, minFlips int, chaos *faultnet.Scenario, reg *obs.Registry, tracer *tracing.Tracer, perf *perfwatch.Watch) (*testbed, error) {
 	org, err := origin.Start(origin.Config{Latency: originLatency})
 	if err != nil {
 		return nil, err
@@ -165,6 +170,7 @@ func newTestbed(mode httpproxy.Mode, proxies int, cacheBytes int64, originLatenc
 			QueryTimeout:   2 * time.Second,
 			Metrics:        reg,
 			Tracer:         tracer,
+			Perf:           perf,
 		}
 		if chaos != nil {
 			inj := faultnet.New(chaos.Fork(int64(i)))
@@ -270,7 +276,7 @@ func (tb *testbed) collect(r *Result) {
 // RunSynthetic executes one Table II-style benchmark run.
 func RunSynthetic(cfg SyntheticConfig) (Result, error) {
 	cfg.applyDefaults()
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Chaos, cfg.Metrics, cfg.Tracer)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Chaos, cfg.Metrics, cfg.Tracer, cfg.Perf)
 	if err != nil {
 		return Result{}, err
 	}
@@ -390,6 +396,9 @@ type ReplayConfig struct {
 	// Tracer, when set, is shared by every proxy (see
 	// SyntheticConfig.Tracer).
 	Tracer *tracing.Tracer
+	// Perf, when set, is shared by every proxy (see
+	// SyntheticConfig.Perf).
+	Perf *perfwatch.Watch
 }
 
 // RunReplay executes one trace-replay benchmark run.
@@ -409,7 +418,7 @@ func RunReplay(cfg ReplayConfig) (Result, error) {
 	if len(cfg.Trace) == 0 {
 		return Result{}, fmt.Errorf("bench: empty trace")
 	}
-	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Chaos, cfg.Metrics, cfg.Tracer)
+	tb, err := newTestbed(cfg.Mode, cfg.Proxies, cfg.CacheBytes, cfg.OriginLatency, cfg.UpdateThreshold, cfg.MinUpdateFlips, cfg.Chaos, cfg.Metrics, cfg.Tracer, cfg.Perf)
 	if err != nil {
 		return Result{}, err
 	}

@@ -82,7 +82,19 @@ type MicroDiff struct {
 	// machine's overall speed change between the runs. Zero when no
 	// scenario carries baselines in both.
 	HostDrift float64
+	// CalibrationSpread is max/min over those same per-scenario baseline
+	// drifts. The frozen baselines are bit-identical code in both runs, so
+	// a genuine host-speed change moves them together; a wide spread means
+	// the apparent drift is per-loop measurement noise (code layout,
+	// frequency excursions) that cannot calibrate anything. Above
+	// MaxCalibrationSpread every AdjustedRatio is discarded and the gate
+	// judges raw ratios. Zero with fewer than two calibrated scenarios.
+	CalibrationSpread float64
 }
+
+// MaxCalibrationSpread bounds how much the frozen baselines may disagree
+// with each other before drift adjustment is considered unreliable.
+const MaxCalibrationSpread = 1.10
 
 // DiffMicro pairs the scenarios of two runs by name, in the old run's
 // order (new-only scenarios follow). Scenarios found in only one run are
@@ -96,16 +108,23 @@ func DiffMicro(old, new MicroResult) MicroDiff {
 	}
 	var driftLogSum float64
 	var driftN int
+	minDrift, maxDrift := math.Inf(1), 0.0
 	for _, o := range old.Scenarios {
 		n, ok := newByName[o.Name]
 		if ok && o.Baseline != nil && n.Baseline != nil &&
 			o.Baseline.OpsPerSec > 0 && n.Baseline.OpsPerSec > 0 {
-			driftLogSum += math.Log(n.Baseline.OpsPerSec / o.Baseline.OpsPerSec)
+			drift := n.Baseline.OpsPerSec / o.Baseline.OpsPerSec
+			driftLogSum += math.Log(drift)
 			driftN++
+			minDrift = math.Min(minDrift, drift)
+			maxDrift = math.Max(maxDrift, drift)
 		}
 	}
 	if driftN > 0 {
 		d.HostDrift = math.Exp(driftLogSum / float64(driftN))
+	}
+	if driftN > 1 {
+		d.CalibrationSpread = maxDrift / minDrift
 	}
 	seen := make(map[string]bool, len(old.Scenarios))
 	for _, o := range old.Scenarios {
@@ -146,6 +165,14 @@ func DiffMicro(old, new MicroResult) MicroDiff {
 				Name: n.Name, NewOpsPerSec: n.Current.OpsPerSec,
 				NewP99Micros: n.Current.P99Micros, Missing: "old",
 			})
+		}
+	}
+	if d.CalibrationSpread > MaxCalibrationSpread {
+		// The calibration standards disagree with each other: whatever
+		// moved them was not host speed, and dividing it out would inject
+		// that noise into every verdict.
+		for i := range d.Deltas {
+			d.Deltas[i].AdjustedRatio = 0
 		}
 	}
 	return d
@@ -190,7 +217,11 @@ func (d MicroDiff) Format() string {
 			x.Name, x.OldOpsPerSec, x.NewOpsPerSec, x.Ratio, adj,
 			x.OldP99Micros, x.NewP99Micros)
 	}
-	if d.HostDrift > 0 {
+	switch {
+	case d.CalibrationSpread > MaxCalibrationSpread:
+		fmt.Fprintf(w, "(frozen baselines disagree with each other %.2fx > %.2fx: drift calibration unreliable, gating on raw ratios)\n",
+			d.CalibrationSpread, MaxCalibrationSpread)
+	case d.HostDrift > 0:
 		fmt.Fprintf(w, "(host drift %.2fx by the frozen baselines; adjusted = ratio with drift divided out)\n", d.HostDrift)
 	}
 	_ = w.Flush() // a strings.Builder never errors

@@ -96,6 +96,55 @@ func TestDiffMicroHostDrift(t *testing.T) {
 	}
 }
 
+// TestDiffMicroCalibrationSpread: the frozen baselines are bit-identical
+// code, so a real host-speed change moves them together. When their
+// individual drifts disagree beyond MaxCalibrationSpread, the apparent
+// drift is per-loop noise and the gate must fall back to raw ratios
+// rather than divide that noise into every verdict.
+func TestDiffMicroCalibrationSpread(t *testing.T) {
+	sc := func(name string, cur, base float64) MicroScenario {
+		return MicroScenario{
+			Name:     name,
+			Current:  MicroMeasurement{OpsPerSec: cur, P99Micros: 1},
+			Baseline: &MicroMeasurement{OpsPerSec: base, P99Micros: 1},
+		}
+	}
+	// Baseline a moved 1.00x, baseline b moved 1.20x: a 1.20x spread. Both
+	// scenarios' current code measures at raw parity (ratio 1.0); adjusting
+	// scenario b by its own 1.20x "drift" would fail it at 0.83x.
+	old := MicroResult{Scenarios: []MicroScenario{sc("a", 2000, 1000), sc("b", 3000, 1000)}}
+	new := MicroResult{Scenarios: []MicroScenario{sc("a", 2000, 1000), sc("b", 3000, 1200)}}
+	d := DiffMicro(old, new)
+	if d.CalibrationSpread <= MaxCalibrationSpread {
+		t.Fatalf("CalibrationSpread = %v, want > %v", d.CalibrationSpread, MaxCalibrationSpread)
+	}
+	for _, x := range d.Deltas {
+		if x.AdjustedRatio != 0 {
+			t.Errorf("delta %s AdjustedRatio = %v, want 0 (calibration discarded)", x.Name, x.AdjustedRatio)
+		}
+		if got := x.GatedRatio(); got != x.Ratio {
+			t.Errorf("delta %s GatedRatio = %v, want raw %v", x.Name, got, x.Ratio)
+		}
+	}
+	if regs := d.Regressions(0.95); len(regs) != 0 {
+		t.Errorf("Regressions = %+v, want none at raw parity", regs)
+	}
+	if !strings.Contains(d.Format(), "calibration unreliable") {
+		t.Errorf("Format() missing spread note:\n%s", d.Format())
+	}
+	// Two scenarios whose baselines agree keep drift adjustment: spread
+	// 1.0 is within bounds and both adjusted ratios survive.
+	agree := DiffMicro(old, MicroResult{Scenarios: []MicroScenario{sc("a", 1000, 500), sc("b", 1500, 500)}})
+	if agree.CalibrationSpread > MaxCalibrationSpread {
+		t.Fatalf("agreeing baselines: spread = %v, want <= %v", agree.CalibrationSpread, MaxCalibrationSpread)
+	}
+	for _, x := range agree.Deltas {
+		if x.AdjustedRatio == 0 {
+			t.Errorf("agreeing baselines: delta %s lost its AdjustedRatio", x.Name)
+		}
+	}
+}
+
 func TestLatestBenchFileAndLoad(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := LatestBenchFile(dir); err == nil {

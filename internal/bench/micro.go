@@ -98,10 +98,34 @@ func (r *MicroResult) Scenario(name string) *MicroScenario {
 // timing every ~100ns operation would measure the clock, not the cache.
 const latSampleEvery = 64
 
+// microTrials is the best-of-N trial count. A single timed draw of a
+// ~100ns loop swings ±15% with scheduler and frequency noise, all of it
+// downward-biased; taking the fastest of N runs is the standard defence
+// and is what makes the benchdiff floor meaningful run to run.
+const microTrials = 3
+
+// microSweeps repeats the whole scenario list and keeps each scenario's
+// best measurement across sweeps. Back-to-back trials share whatever
+// multi-second throttling window the host is in; a second full sweep
+// minutes later samples a different window, which is the only defence
+// against noise that is correlated across one sweep.
+const microSweeps = 2
+
 // measure drives op from workers goroutines for d and aggregates
-// throughput plus sampled p99 latency. op receives the worker index and a
-// per-worker op counter; it must be safe for concurrent use.
+// throughput plus sampled p99 latency, keeping the fastest of
+// microTrials runs. op receives the worker index and a per-worker op
+// counter; it must be safe for concurrent use.
 func measure(workers int, d time.Duration, op func(worker, i int)) MicroMeasurement {
+	best := measureOnce(workers, d, op)
+	for t := 1; t < microTrials; t++ {
+		if m := measureOnce(workers, d, op); m.OpsPerSec > best.OpsPerSec {
+			best = m
+		}
+	}
+	return best
+}
+
+func measureOnce(workers int, d time.Duration, op func(worker, i int)) MicroMeasurement {
 	var stop atomic.Bool
 	counts := make([]uint64, workers)
 	samples := make([][]time.Duration, workers)
@@ -159,8 +183,48 @@ func compare(name string, workers int, cur, base MicroMeasurement) MicroScenario
 }
 
 // RunMicro executes the concurrent-load microbenchmarks and the mesh
-// throughput run.
+// throughput run, merging each scenario's best measurement across
+// microSweeps full sweeps (see the constant's comment for why best-of-N
+// within a sweep is not enough).
 func RunMicro(cfg MicroConfig) (MicroResult, error) {
+	res, err := runMicroSweep(cfg)
+	if err != nil {
+		return res, err
+	}
+	for s := 1; s < microSweeps; s++ {
+		again, err := runMicroSweep(cfg)
+		if err != nil {
+			return res, err
+		}
+		mergeBestSweep(&res, again)
+	}
+	return res, nil
+}
+
+// mergeBestSweep keeps, per scenario, the fastest current and baseline
+// measurements seen in either sweep — each draw of a bit-identical loop
+// estimates the same true rate, and the fastest draw is the one least
+// disturbed by the host.
+func mergeBestSweep(dst *MicroResult, src MicroResult) {
+	for i := range dst.Scenarios {
+		d := &dst.Scenarios[i]
+		s := src.Scenario(d.Name)
+		if s == nil {
+			continue
+		}
+		if s.Current.OpsPerSec > d.Current.OpsPerSec {
+			d.Current = s.Current
+		}
+		if d.Baseline != nil && s.Baseline != nil && s.Baseline.OpsPerSec > d.Baseline.OpsPerSec {
+			d.Baseline = s.Baseline
+		}
+		if d.Baseline != nil && d.Baseline.OpsPerSec > 0 {
+			d.Speedup = d.Current.OpsPerSec / d.Baseline.OpsPerSec
+		}
+	}
+}
+
+func runMicroSweep(cfg MicroConfig) (MicroResult, error) {
 	cfg.applyDefaults()
 	res := MicroResult{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), DurationMS: cfg.Duration.Milliseconds()}
 

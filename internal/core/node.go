@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"summarycache/internal/bloom"
 	"summarycache/internal/icp"
 	"summarycache/internal/obs"
 	"summarycache/internal/tracing"
@@ -115,6 +116,12 @@ type NodeConfig struct {
 	// hits pinned on the peer whose summary lied, remote hits on the peer
 	// that served them). Nil: no per-peer accounting.
 	Decisions DecisionSink
+	// StageTiming, when set, receives the sub-span stage timings the node
+	// owns, keyed by the perfwatch stage names: per-reply ICP RTT
+	// ("icp_reply"), DIRUPDATE encoding ("dirupdate_encode") and applying
+	// a received DIRUPDATE ("dirupdate_apply"). Nil (the default) leaves
+	// every path untouched beyond one nil check.
+	StageTiming func(stage string, d time.Duration)
 	// FalseMissAuditEvery, when positive, samples every Nth unresolved
 	// lookup (no remote hit) and ICP-queries the peers whose summaries
 	// said NO. A HIT answer contradicts the negative probe — the paper's
@@ -139,7 +146,10 @@ type NodeStats struct {
 	UpdateFullBytes  uint64 // advertised bytes in full-state shipments
 	UpdateDeltaBytes uint64 // advertised bytes in delta publications
 	FilterRebuilds   uint64 // peer replicas created, re-created or reset
-	UDP              icp.Stats
+	// QueryRTTSeconds summarizes the Lookup ICP fan-out round-trip-time
+	// histogram (summarycache_node_query_rtt_seconds).
+	QueryRTTSeconds obs.HistogramSnapshot
+	UDP             icp.Stats
 }
 
 // nodeMetrics are the registry-backed instruments behind NodeStats: the
@@ -382,7 +392,7 @@ func (n *Node) handleTCPUpdate(from *net.UDPAddr, m icp.Message) {
 		id = &net.UDPAddr{IP: from.IP, Port: int(m.OptionData)}
 	}
 	full := m.Options&icp.OptionFullUpdate != 0
-	if err := n.peers.ApplyUpdate(id.String(), m.Update, full); err == nil {
+	if err := n.applyUpdate(id.String(), m.Update, full); err == nil {
 		n.metrics.updatesRecv.Inc()
 	}
 }
@@ -501,7 +511,7 @@ func (n *Node) handleMulticast(from *net.UDPAddr, m icp.Message) {
 		return
 	}
 	full := m.Options&icp.OptionFullUpdate != 0
-	if err := n.peers.ApplyUpdate(from.String(), m.Update, full); err == nil {
+	if err := n.applyUpdate(from.String(), m.Update, full); err == nil {
 		n.metrics.updatesRecv.Inc()
 	}
 }
@@ -524,6 +534,7 @@ func (n *Node) Stats() NodeStats {
 		UpdateFullBytes:  n.metrics.updateFullBytes.Value(),
 		UpdateDeltaBytes: n.metrics.updateDeltaBytes.Value(),
 		FilterRebuilds:   n.metrics.filterRebuilds.Value(),
+		QueryRTTSeconds:  n.metrics.queryRTT.Snapshot(),
 		UDP:              n.conn.Stats(),
 	}
 }
@@ -759,7 +770,7 @@ func (n *Node) publishLocked() {
 	}
 	n.metrics.updateEvents.Inc()
 	n.metrics.flipsPublished.Add(uint64(len(flips)))
-	msgs := icp.SplitUpdate(n.conn.NextReqNum(), n.dir.Spec(), uint32(n.dir.Bits()), flips, n.cfg.MaxFlipsPerUpdate)
+	msgs := n.splitUpdate(flips)
 	n.stampIdentity(msgs)
 	n.log.Info("summary published", "flips", len(flips), "messages", len(msgs),
 		"multicast", n.groupAddr != nil)
@@ -783,6 +794,34 @@ func (n *Node) publishLocked() {
 			}
 		}
 	}
+}
+
+// splitUpdate encodes pending flips into DIRUPDATE messages, reporting
+// the encoding time as the "dirupdate_encode" perfwatch stage when a
+// StageTiming hook is wired.
+func (n *Node) splitUpdate(flips []bloom.Flip) []icp.Message {
+	st := n.cfg.StageTiming
+	if st == nil {
+		return icp.SplitUpdate(n.conn.NextReqNum(), n.dir.Spec(), uint32(n.dir.Bits()), flips, n.cfg.MaxFlipsPerUpdate)
+	}
+	t0 := time.Now()
+	msgs := icp.SplitUpdate(n.conn.NextReqNum(), n.dir.Spec(), uint32(n.dir.Bits()), flips, n.cfg.MaxFlipsPerUpdate)
+	st("dirupdate_encode", time.Since(t0))
+	return msgs
+}
+
+// applyUpdate applies one received DIRUPDATE to the sender's replica,
+// reporting the apply time as the "dirupdate_apply" perfwatch stage when
+// a StageTiming hook is wired.
+func (n *Node) applyUpdate(peer string, u *icp.DirUpdate, full bool) error {
+	st := n.cfg.StageTiming
+	if st == nil {
+		return n.peers.ApplyUpdate(peer, u, full)
+	}
+	t0 := time.Now()
+	err := n.peers.ApplyUpdate(peer, u, full)
+	st("dirupdate_apply", time.Since(t0))
+	return err
 }
 
 // stampIdentity embeds this node's ICP port into update messages so
@@ -811,7 +850,7 @@ func (n *Node) sendUpdate(addr *net.UDPAddr, m icp.Message) error {
 // resets its replica first.
 func (n *Node) sendFullState(addr *net.UDPAddr) error {
 	flips := n.dir.SnapshotFlips()
-	msgs := icp.SplitUpdate(n.conn.NextReqNum(), n.dir.Spec(), uint32(n.dir.Bits()), flips, n.cfg.MaxFlipsPerUpdate)
+	msgs := n.splitUpdate(flips)
 	n.stampIdentity(msgs)
 	for i, m := range msgs {
 		if i == 0 {
@@ -900,6 +939,17 @@ func (n *Node) Lookup(ctx context.Context, url string) (hit *net.UDPAddr, candid
 		onReply = func(from *net.UDPAddr, op icp.Opcode) { replies[from.String()] = op }
 	}
 	start := time.Now()
+	if st := n.cfg.StageTiming; st != nil {
+		// Each peer's answer latency is one "icp_reply" sample — finer
+		// than the whole fan-out RTT the icp_query span reports.
+		prev := onReply
+		onReply = func(from *net.UDPAddr, op icp.Opcode) {
+			st("icp_reply", time.Since(start))
+			if prev != nil {
+				prev(from, op)
+			}
+		}
+	}
 	ok, from, reqNum, err := n.conn.QueryAllFunc(qctx, addrs, url, onReply)
 	rtt := time.Since(start)
 	n.metrics.queryRTT.ObserveDuration(rtt)
@@ -1064,7 +1114,7 @@ func (n *Node) handle(from *net.UDPAddr, m icp.Message) {
 		}
 	case icp.OpDirUpdate:
 		full := m.Options&icp.OptionFullUpdate != 0
-		if err := n.peers.ApplyUpdate(from.String(), m.Update, full); err == nil {
+		if err := n.applyUpdate(from.String(), m.Update, full); err == nil {
 			n.metrics.updatesRecv.Inc()
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"summarycache/internal/lru"
 	"summarycache/internal/meshhealth"
 	"summarycache/internal/obs"
+	"summarycache/internal/perfwatch"
 	"summarycache/internal/tracing"
 )
 
@@ -209,6 +210,13 @@ type Config struct {
 	// Metrics) or each proxy may own one. Nil: tracing disabled; the
 	// local-hit hot path performs no extra allocation.
 	Tracer *tracing.Tracer
+	// Perf, when set, receives the sub-span stage timings only this layer
+	// can see — document-cache get/insert and the SC-ICP node's DIRUPDATE
+	// encode/apply and per-reply RTT — completing the per-stage latency
+	// decomposition the Watch assembles from the tracer's spans. Wire the
+	// same Watch as Tracer's Config.Sink to get the span-level stages and
+	// the SLO engine. Nil: no timing hooks are installed at all.
+	Perf *perfwatch.Watch
 }
 
 // Stats counts proxy activity.
@@ -239,6 +247,12 @@ type Stats struct {
 	// application level: every HTTP transaction is a request plus a
 	// response.
 	HTTPMessages uint64
+	// InflightRequests is the instantaneous number of client requests
+	// being served (the summarycache_proxy_inflight_requests gauge).
+	InflightRequests int64
+	// RequestSeconds summarizes client request latency across all
+	// outcomes (the summarycache_proxy_request_seconds histograms).
+	RequestSeconds obs.HistogramSnapshot
 	// UDP mirrors the paper's netstat UDP counters (zero in ModeNone).
 	UDP icp.Stats
 	// Node carries summary-protocol counters (ModeSCICP only).
@@ -407,13 +421,26 @@ func Start(cfg Config) (*Proxy, error) {
 		rt = cfg.Faults.Transport(rt)
 	}
 	p.client = &http.Client{Transport: rt}
-	cache, err := lru.NewCache(lru.Config{
+	cacheCfg := lru.Config{
 		Capacity:      cfg.CacheBytes,
 		Shards:        cfg.CacheShards,
 		MaxObjectSize: cfg.MaxObjectSize,
 		OnInsert:      p.onInsert,
 		OnEvict:       p.onEvict,
-	})
+	}
+	if perf := cfg.Perf; perf != nil {
+		// Map the cache's op names onto perfwatch stages without a
+		// per-call string concatenation.
+		cacheCfg.OpTiming = func(op string, d time.Duration) {
+			switch op {
+			case lru.OpGet:
+				perf.StageTiming(perfwatch.StageLRUGet, d)
+			case lru.OpInsert:
+				perf.StageTiming(perfwatch.StageLRUInsert, d)
+			}
+		}
+	}
+	cache, err := lru.NewCache(cacheCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -462,7 +489,7 @@ func Start(cfg Config) (*Proxy, error) {
 		p.icpConn = conn
 		conn.Start()
 	case ModeSCICP:
-		node, err := core.NewNode(core.NodeConfig{
+		nodeCfg := core.NodeConfig{
 			ListenAddr:          cfg.ICPAddr,
 			Directory:           cfg.Summary,
 			HasDocument:         p.cache.Contains,
@@ -474,7 +501,13 @@ func Start(cfg Config) (*Proxy, error) {
 			Tracer:              cfg.Tracer,
 			Decisions:           p.decisions,
 			FalseMissAuditEvery: cfg.FalseMissAuditEvery,
-		})
+		}
+		if cfg.Perf != nil {
+			// Only set for a live Watch: the node gates on a nil func, so
+			// a disabled Watch must not install a non-nil method value.
+			nodeCfg.StageTiming = cfg.Perf.StageTiming
+		}
+		node, err := core.NewNode(nodeCfg)
 		if err != nil {
 			_ = ln.Close() // the node startup failure is the error worth reporting
 			return nil, err
@@ -752,17 +785,23 @@ func (p *Proxy) Resync() error {
 // call taken at the same quiescent moment agree exactly.
 func (p *Proxy) Stats() Stats {
 	s := Stats{
-		ClientRequests: p.metrics.clientReqs.Value(),
-		LocalHits:      p.metrics.localHits.Value(),
-		RemoteHits:     p.metrics.remoteHits.Value(),
-		Misses:         p.metrics.misses.Value(),
-		FalseHits:      p.metrics.falseHits.Value(),
-		StaleHits:      p.metrics.staleHits.Value(),
-		LocalStale:     p.metrics.localStale.Value(),
-		OriginFetches:  p.metrics.originFetches.Value(),
-		PeerFetches:    p.metrics.peerFetches.Value(),
-		Retries:        p.metrics.retries.Value(),
-		BreakerSkips:   p.metrics.breakerSkips.Value(),
+		ClientRequests:   p.metrics.clientReqs.Value(),
+		LocalHits:        p.metrics.localHits.Value(),
+		RemoteHits:       p.metrics.remoteHits.Value(),
+		Misses:           p.metrics.misses.Value(),
+		FalseHits:        p.metrics.falseHits.Value(),
+		StaleHits:        p.metrics.staleHits.Value(),
+		LocalStale:       p.metrics.localStale.Value(),
+		OriginFetches:    p.metrics.originFetches.Value(),
+		PeerFetches:      p.metrics.peerFetches.Value(),
+		Retries:          p.metrics.retries.Value(),
+		BreakerSkips:     p.metrics.breakerSkips.Value(),
+		InflightRequests: p.metrics.inflight.Value(),
+	}
+	for _, h := range p.metrics.latency {
+		snap := h.Snapshot()
+		s.RequestSeconds.Count += snap.Count
+		s.RequestSeconds.Sum += snap.Sum
 	}
 	s.HTTPMessages = 2 * (s.ClientRequests + s.OriginFetches + s.PeerFetches)
 	switch p.cfg.Mode {

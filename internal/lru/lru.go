@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultMaxObjectSize is the paper's cacheability limit: 250 KB.
@@ -68,7 +69,18 @@ type Config struct {
 	OnInsert func(Entry)
 	// OnEvict, if non-nil, observes every departure with its cause.
 	OnEvict func(Entry, Event)
+	// OpTiming, if non-nil, observes the duration of every Get (op OpGet)
+	// and every stored Put (op OpInsert) — the perfwatch stage-timing
+	// hook. Nil (the default) leaves the hot path untouched: the timing
+	// branch costs one predictable nil check and zero allocations.
+	OpTiming func(op string, d time.Duration)
 }
+
+// Op names reported to Config.OpTiming.
+const (
+	OpGet    = "get"
+	OpInsert = "insert"
+)
 
 // ErrBadCapacity reports a non-positive cache capacity.
 var ErrBadCapacity = errors.New("lru: capacity must be positive")
@@ -130,6 +142,7 @@ type Cache struct {
 	clock    atomic.Uint64 // recency stamps; see node
 	onInsert func(Entry)
 	onEvict  func(Entry, Event)
+	timing   func(op string, d time.Duration)
 }
 
 // shardCount resolves the effective stripe count: the requested (or
@@ -181,6 +194,7 @@ func NewCache(cfg Config) (*Cache, error) {
 		seed:     maphash.MakeSeed(),
 		onInsert: cfg.OnInsert,
 		onEvict:  cfg.OnEvict,
+		timing:   cfg.OpTiming,
 	}
 	base, rem := cfg.Capacity/int64(n), cfg.Capacity%int64(n)
 	for i := range c.shards {
@@ -285,6 +299,12 @@ func (c *Cache) Cacheable(size int64) bool {
 // The second result reports presence; it does not imply freshness — compare
 // Entry.Version against the request's expected version for that.
 func (c *Cache) Get(key string) (Entry, bool) {
+	if c.timing != nil {
+		// Conditional open-coded defer: when timing is off this costs one
+		// branch, not an extra call frame around the hot path.
+		start := time.Now()
+		defer func() { c.timing(OpGet, time.Since(start)) }()
+	}
 	s := c.shardFor(key)
 	if !s.mu.TryLock() {
 		s.lockSlow()
@@ -374,6 +394,10 @@ func (c *Cache) fire(evs []event) {
 func (c *Cache) Put(e Entry) (stored bool) {
 	if !c.Cacheable(e.Size) {
 		return false
+	}
+	if c.timing != nil {
+		start := time.Now()
+		defer func() { c.timing(OpInsert, time.Since(start)) }()
 	}
 	s := c.shardFor(e.Key)
 	var evs []event

@@ -125,6 +125,21 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// HistogramSnapshot is the scalar summary of a Histogram — the form a
+// Stats struct can carry so snapshot and scrape read the same instrument
+// (full bucket vectors stay exposition-only).
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+}
+
+// Snapshot returns the histogram's scalar summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+}
+
 // Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
 // within the bucket containing it, the same estimate Prometheus's
 // histogram_quantile computes. With zero observations every quantile is 0:

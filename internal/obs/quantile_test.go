@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileSingleBucket pins interpolation degenerate cases
+// on a one-bound histogram: q=0 is the bucket's lower edge, q=1 its
+// upper edge, and out-of-range q clamps rather than extrapolating.
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := newHistogram([]float64{1})
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0},     // lower edge of the only bucket
+		{0.5, 0.5}, // linear interpolation inside [0, 1]
+		{1, 1},     // upper edge
+		{-3, 0},    // clamped to q=0
+		{2, 1},     // clamped to q=1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileInfOnly: when every observation overflows the
+// finite bounds, every quantile reports the largest finite bound — the
+// histogram's honest "at least this much" answer.
+func TestHistogramQuantileInfOnly(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(100)
+	h.Observe(200)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%v) = %v, want largest finite bound 1", q, got)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserveAndRead exercises Observe racing the
+// read-side (BucketCounts, Count, Sum, Quantile, Snapshot) under -race,
+// and checks the final counts are exact — no lost updates.
+func TestHistogramConcurrentObserveAndRead(t *testing.T) {
+	h := newHistogram([]float64{0.25, 0.5, 1})
+	const writers, perWriter = 8, 5000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sum uint64
+			for _, c := range h.BucketCounts() {
+				sum += c
+			}
+			if sum > writers*perWriter {
+				t.Error("bucket counts exceed observations")
+				return
+			}
+			h.Quantile(0.99)
+			h.Snapshot()
+			_ = h.Sum()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := float64(i) / float64(writers) // spread across buckets
+			for j := 0; j < perWriter; j++ {
+				h.Observe(v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+	var sum uint64
+	for _, c := range h.BucketCounts() {
+		sum += c
+	}
+	if sum != writers*perWriter {
+		t.Fatalf("bucket sum = %d, want %d", sum, writers*perWriter)
+	}
+}

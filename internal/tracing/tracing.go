@@ -202,6 +202,27 @@ type view struct {
 	Spans      []Span `json:"spans"`
 }
 
+// SpanSink observes every span and every completed trace as they happen,
+// regardless of the retention (sampling) decision — spans are recorded on
+// all traces, sampled or not, so a sink sees the full population. It is
+// the hook the perfwatch subsystem uses to decompose end-to-end latency
+// into per-stage histograms and to evaluate latency SLOs.
+//
+// OnFinish runs before the retention decision and may return a non-empty
+// anomaly reason (e.g. "slo:client_p99") to force tail-based keep of the
+// trace, so requests that breach an objective always survive the head
+// sampler. Implementations must be concurrency-safe and must not call
+// back into the Trace or Tracer (OnFinish is invoked under the trace's
+// lock).
+type SpanSink interface {
+	// OnSpan is called once per recorded span.
+	OnSpan(node string, s Span)
+	// OnFinish is called once per completed trace with its kind (request
+	// or icp_answer), final outcome and end-to-end duration. A non-empty
+	// return marks the trace anomalous (first reason sticks).
+	OnFinish(node, kind, outcome string, d time.Duration) (anomaly string)
+}
+
 // Config parameterizes a Tracer.
 type Config struct {
 	// HeadRate is the head-sampling probability in [0,1]: the chance a
@@ -221,6 +242,10 @@ type Config struct {
 	// Logger, when set, receives one structured event per kept trace at
 	// completion (anomalous traces at Info, head-sampled ones at Debug).
 	Logger *slog.Logger
+	// Sink, when set, observes every span and completed trace (sampled or
+	// not) and may flag traces anomalous at Finish time — see SpanSink.
+	// Nil keeps the hot path exactly as before (zero extra work).
+	Sink SpanSink
 }
 
 // DefaultBuffer is the ring capacity used when Config.Buffer is zero.
@@ -235,6 +260,7 @@ type Tracer struct {
 	headRate float64
 	ring     ring
 	log      *slog.Logger
+	sink     SpanSink
 
 	localSeq atomic.Uint64 // provisional IDs for traces with no ICP exchange
 
@@ -255,6 +281,7 @@ func New(cfg Config) *Tracer {
 	t := &Tracer{
 		headRate: cfg.HeadRate,
 		log:      obs.OrNop(cfg.Logger),
+		sink:     cfg.Sink,
 		sampled: reg.Counter("summarycache_trace_sampled_total",
 			"traces kept by head-based probabilistic sampling", cfg.Labels),
 		keptTail: reg.Counter("summarycache_trace_kept_tail_total",
@@ -344,14 +371,19 @@ func (t *Tracer) Find(id ID) []*Trace {
 
 // --- Trace methods (all nil-safe) ---
 
-// AddSpan appends a span.
+// AddSpan appends a span. When the tracer has a SpanSink, the span is
+// also delivered to it (outside the trace lock).
 func (tr *Trace) AddSpan(s Span) {
 	if tr == nil {
 		return
 	}
 	tr.mu.Lock()
 	tr.spans = append(tr.spans, s)
+	node := tr.node
 	tr.mu.Unlock()
+	if sink := tr.tracer.sink; sink != nil {
+		sink.OnSpan(node, s)
+	}
 }
 
 // SetICPExchange re-keys the trace to the shared ID of the ICP exchange
@@ -435,6 +467,15 @@ func (tr *Trace) Finish(outcome string) {
 	}
 	tr.finished = true
 	tr.outcome = outcome
+	tr.dur = time.Since(tr.start)
+	// The sink sees every completed trace before the retention decision,
+	// so it can both account the full population (per-stage histograms,
+	// SLO windows) and flag SLO-breaching traces for tail-based keep.
+	if sink := tr.tracer.sink; sink != nil {
+		if reason := sink.OnFinish(tr.node, tr.kind, outcome, tr.dur); reason != "" && tr.anomaly == "" {
+			tr.anomaly = reason
+		}
+	}
 	keep := tr.headKeep || tr.anomaly != ""
 	switch {
 	case !keep:
@@ -444,7 +485,6 @@ func (tr *Trace) Finish(outcome string) {
 	default:
 		tr.keptLabel = "tail"
 	}
-	tr.dur = time.Since(tr.start)
 	t := tr.tracer
 	id, anomaly, kept := tr.id, tr.anomaly, tr.keptLabel
 	node, url, kind, nspans := tr.node, tr.url, tr.kind, len(tr.spans)
