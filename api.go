@@ -8,7 +8,6 @@ package summarycache
 import (
 	"io"
 	"net/http"
-	"time"
 
 	"summarycache/internal/analysis"
 	"summarycache/internal/bench"
@@ -166,15 +165,6 @@ func MustNewCache(cfg CacheConfig) *Cache { return lru.MustNewCache(cfg) }
 // /metrics series.
 type CacheShardStats = lru.ShardStats
 
-// NewCacheWithCapacity creates a document cache with a positional capacity.
-//
-// Deprecated: use NewCache with CacheConfig.Capacity. This wrapper keeps
-// the original two-argument shape; the positional capacity overrides any
-// CacheConfig.Capacity.
-func NewCacheWithCapacity(capacity int64, cfg CacheConfig) (*Cache, error) {
-	return lru.New(capacity, cfg)
-}
-
 // Proxy is a caching HTTP forward proxy with cooperative peering.
 type Proxy = httpproxy.Proxy
 
@@ -206,6 +196,12 @@ const CacheOnlyPath = httpproxy.CacheOnlyPath
 
 // ICPMessage is one ICP datagram.
 type ICPMessage = icp.Message
+
+// ICPConfig tunes the ICP plane's pooling and batching: the depth of the
+// asynchronous send ring behind DIRUPDATE transmission, and whether the
+// publication path coalesces redundant same-bit flips before shipping.
+// Set it on ProxyConfig.ICP; the zero value selects every default.
+type ICPConfig = icp.Config
 
 // ICPOpcode is an ICP operation code.
 type ICPOpcode = icp.Opcode
@@ -239,16 +235,12 @@ type TCPServer = icp.TCPServer
 // TCPClientConfig leaves DialTimeout zero.
 const DefaultDialTimeout = icp.DefaultDialTimeout
 
-// NewTCPClient prepares an update-channel client; dialTimeout <= 0 means
-// DefaultDialTimeout.
-func NewTCPClient(addr string, dialTimeout time.Duration) *TCPClient {
-	return icp.NewTCPClient(addr, dialTimeout)
-}
-
-// NewTCPClientWithConfig prepares an update-channel client with explicit
-// deadlines.
-func NewTCPClientWithConfig(addr string, cfg TCPClientConfig) *TCPClient {
-	return icp.NewTCPClientWithConfig(addr, cfg)
+// NewTCPClient prepares an update-channel client. This config form is the
+// one canonical constructor (it folds in the NewTCPClientWithConfig and
+// positional dial-timeout spellings of earlier revisions). A zero
+// DialTimeout means DefaultDialTimeout.
+func NewTCPClient(addr string, cfg TCPClientConfig) *TCPClient {
+	return icp.NewTCPClient(addr, cfg)
 }
 
 // ListenTCP starts an update-channel server on addr, delivering each

@@ -41,6 +41,7 @@ var (
 	experiment = flag.String("experiment", "all", "experiment: all, table2, table4, table5, micro (micro is not part of all)")
 	microOut   = flag.String("out", "BENCH_PR3.json", "output path for -experiment=micro JSON results")
 	microDur   = flag.Duration("micro-duration", 500*time.Millisecond, "per-scenario duration for -experiment=micro")
+	microSweep = flag.Int("micro-sweeps", 0, "full micro sweeps to merge best-of; 1 makes CI smoke runs cheap (0: default)")
 	benchdiff  = flag.Bool("benchdiff", false, "run the microbenchmarks and diff them against the latest committed BENCH_*.json; exits non-zero when a scenario regresses below -benchdiff-floor")
 	diffFloor  = flag.Float64("benchdiff-floor", 0.95, "minimum acceptable new/old ops-per-sec ratio for -benchdiff")
 	latency    = flag.Duration("latency", 20*time.Millisecond, "origin latency (paper: 1s)")
@@ -298,7 +299,7 @@ func micro() error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "running hot-path microbenchmarks at GOMAXPROCS=%d...\n", runtime.GOMAXPROCS(0))
-	res, err := sc.RunMicro(sc.MicroConfig{Duration: *microDur})
+	res, err := sc.RunMicro(sc.MicroConfig{Duration: *microDur, Sweeps: *microSweep})
 	if err != nil {
 		return err
 	}

@@ -29,9 +29,20 @@ type MicroConfig struct {
 	// Keys is the cache/filter working-set size (0: 8192).
 	Keys int
 	// MeshClients and MeshRequests size the end-to-end SC-ICP throughput
-	// run (0: 8 clients per proxy × 50 requests each on a 4-proxy mesh).
+	// run (0: 8 clients per proxy × 400 timed requests each on a 4-proxy
+	// mesh, after MeshWarmup requests per client off the clock).
 	MeshClients, MeshRequests int
-	Seed                      int64
+	// MeshWarmup is the per-client warmup request count for the mesh
+	// scenario (0: 30; negative: no warmup). Warmup fills the caches,
+	// establishes connections and completes the full-state summary pushes
+	// before the measurement window opens, so the scenario reports
+	// steady-state throughput rather than mesh cold-start amortization.
+	MeshWarmup int
+	// Sweeps overrides the full-sweep count (0: microSweeps). CI smoke
+	// runs use 1 to halve wall time; committed BENCH files keep the
+	// default for its decorrelation value.
+	Sweeps int
+	Seed   int64
 }
 
 func (c *MicroConfig) applyDefaults() {
@@ -48,7 +59,16 @@ func (c *MicroConfig) applyDefaults() {
 		c.MeshClients = 8
 	}
 	if c.MeshRequests <= 0 {
-		c.MeshRequests = 50
+		c.MeshRequests = 400
+	}
+	if c.MeshWarmup == 0 {
+		c.MeshWarmup = 30
+	}
+	if c.MeshWarmup < 0 {
+		c.MeshWarmup = 0
+	}
+	if c.Sweeps <= 0 {
+		c.Sweeps = microSweeps
 	}
 }
 
@@ -116,6 +136,11 @@ const microSweeps = 2
 // microTrials runs. op receives the worker index and a per-worker op
 // counter; it must be safe for concurrent use.
 func measure(workers int, d time.Duration, op func(worker, i int)) MicroMeasurement {
+	// Discarded warmup: the first pass over a fresh cache faults the maps
+	// and lists into cache, trains branch predictors and lets the CPU
+	// governor ramp, all of which otherwise land in trial 1 and make
+	// best-of-N a race against the warmup tax instead of a noise filter.
+	measureOnce(workers, d/4, op)
 	best := measureOnce(workers, d, op)
 	for t := 1; t < microTrials; t++ {
 		if m := measureOnce(workers, d, op); m.OpsPerSec > best.OpsPerSec {
@@ -187,11 +212,12 @@ func compare(name string, workers int, cur, base MicroMeasurement) MicroScenario
 // microSweeps full sweeps (see the constant's comment for why best-of-N
 // within a sweep is not enough).
 func RunMicro(cfg MicroConfig) (MicroResult, error) {
+	cfg.applyDefaults()
 	res, err := runMicroSweep(cfg)
 	if err != nil {
 		return res, err
 	}
-	for s := 1; s < microSweeps; s++ {
+	for s := 1; s < cfg.Sweeps; s++ {
 		again, err := runMicroSweep(cfg)
 		if err != nil {
 			return res, err
@@ -336,13 +362,23 @@ func runMicroSweep(cfg MicroConfig) (MicroResult, error) {
 
 	// --- End-to-end: requests/sec through a live 4-proxy SC-ICP mesh on
 	// loopback (shared URL universe, zero origin latency, so protocol and
-	// cache work dominate). No in-binary baseline — compare across
-	// commits via the committed JSON.
+	// cache work dominate). MeshWarmup requests per client run off the
+	// clock first, so the figure is steady-state throughput rather than
+	// one amortization of mesh cold start (connection establishment,
+	// cold caches, full-state pushes). No in-binary baseline — compare
+	// across commits via the committed JSON.
+	//
+	// The micro scenarios above leave megabytes of dead cache entries
+	// behind; collect them now so the mesh pays for its own garbage, not
+	// for sweeping its predecessors' (the same leveling testing.B does
+	// between benchmarks).
+	runtime.GC()
 	mesh, err := RunSynthetic(SyntheticConfig{
 		Mode:              httpproxy.ModeSCICP,
 		Proxies:           4,
 		ClientsPerProxy:   cfg.MeshClients,
 		RequestsPerClient: cfg.MeshRequests,
+		WarmupRequests:    cfg.MeshWarmup,
 		InherentHitRatio:  0.45,
 		Disjoint:          false,
 		OriginLatency:     0,

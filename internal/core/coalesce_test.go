@@ -1,0 +1,95 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"summarycache/internal/bloom"
+)
+
+func TestCoalesceFlips(t *testing.T) {
+	f := func(idx uint32, set bool) bloom.Flip { return bloom.Flip{Index: idx, Set: set} }
+
+	cases := []struct {
+		name string
+		in   []bloom.Flip
+		want []bloom.Flip
+	}{
+		{"empty", nil, nil},
+		{"single", []bloom.Flip{f(1, true)}, []bloom.Flip{f(1, true)}},
+		{
+			"no duplicates untouched",
+			[]bloom.Flip{f(1, true), f(2, false), f(3, true)},
+			[]bloom.Flip{f(1, true), f(2, false), f(3, true)},
+		},
+		{
+			"last record per bit wins",
+			[]bloom.Flip{f(5, true), f(7, true), f(5, false)},
+			[]bloom.Flip{f(7, true), f(5, false)},
+		},
+		{
+			"set-clear-set collapses to final set",
+			[]bloom.Flip{f(9, true), f(9, false), f(9, true)},
+			[]bloom.Flip{f(9, true)},
+		},
+		{
+			"survivors keep relative order",
+			[]bloom.Flip{f(1, true), f(2, true), f(3, true), f(1, false), f(4, true)},
+			[]bloom.Flip{f(2, true), f(3, true), f(1, false), f(4, true)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := append([]bloom.Flip(nil), tc.in...)
+			got := coalesceFlips(in)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("coalesceFlips(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// Coalescing must be deterministic: the survivor sequence is a function of
+// the input sequence alone, never of map iteration order.
+func TestCoalesceFlipsDeterministic(t *testing.T) {
+	in := make([]bloom.Flip, 0, 64)
+	for i := 0; i < 64; i++ {
+		in = append(in, bloom.Flip{Index: uint32(i % 7), Set: i%2 == 0})
+	}
+	first := coalesceFlips(append([]bloom.Flip(nil), in...))
+	for i := 0; i < 20; i++ {
+		got := coalesceFlips(append([]bloom.Flip(nil), in...))
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d diverged: %v vs %v", i, got, first)
+		}
+	}
+	if len(first) != 7 {
+		t.Fatalf("expected 7 survivors (one per distinct bit), got %d", len(first))
+	}
+}
+
+// Applying a coalesced batch to a filter replica must land it in the same
+// state as applying the verbatim batch — the property that makes eliding
+// redundant flips safe on the wire.
+func TestCoalesceFlipsPreservesFinalState(t *testing.T) {
+	in := []bloom.Flip{
+		{Index: 3, Set: true},
+		{Index: 3, Set: false},
+		{Index: 8, Set: true},
+		{Index: 3, Set: true},
+		{Index: 8, Set: false},
+		{Index: 15, Set: true},
+	}
+	apply := func(flips []bloom.Flip) map[uint32]bool {
+		state := make(map[uint32]bool)
+		for _, fl := range flips {
+			state[fl.Index] = fl.Set
+		}
+		return state
+	}
+	verbatim := apply(in)
+	coalesced := apply(coalesceFlips(append([]bloom.Flip(nil), in...)))
+	if !reflect.DeepEqual(verbatim, coalesced) {
+		t.Fatalf("final state diverged: verbatim %v coalesced %v", verbatim, coalesced)
+	}
+}

@@ -122,6 +122,11 @@ type NodeConfig struct {
 	// a received DIRUPDATE ("dirupdate_apply"). Nil (the default) leaves
 	// every path untouched beyond one nil check.
 	StageTiming func(stage string, d time.Duration)
+	// ICP tunes the UDP endpoint's pooling and batching (send-ring depth)
+	// and the publication path's flip coalescing
+	// (icp.Config.DisableFlipCoalescing). The zero value selects every
+	// default.
+	ICP icp.Config
 	// FalseMissAuditEvery, when positive, samples every Nth unresolved
 	// lookup (no remote hit) and ICP-queries the peers whose summaries
 	// said NO. A HIT answer contradicts the negative probe — the paper's
@@ -143,6 +148,7 @@ type NodeStats struct {
 	UpdatesReceived  uint64 // DIRUPDATE datagrams applied
 	UpdateEvents     uint64 // threshold-triggered publications
 	FlipsPublished   uint64 // bit flips shipped in updates
+	FlipsCoalesced   uint64 // redundant same-bit flips elided before shipping
 	UpdateFullBytes  uint64 // advertised bytes in full-state shipments
 	UpdateDeltaBytes uint64 // advertised bytes in delta publications
 	FilterRebuilds   uint64 // peer replicas created, re-created or reset
@@ -162,6 +168,7 @@ type nodeMetrics struct {
 	updatesSent, updatesRecv          *obs.Counter
 	updateEvents                      *obs.Counter
 	flipsPublished                    *obs.Counter
+	flipsCoalesced                    *obs.Counter
 	updateFullBytes, updateDeltaBytes *obs.Counter
 	filterRebuilds                    *obs.Counter
 	queryRTT                          *obs.Histogram
@@ -189,6 +196,8 @@ func newNodeMetrics(reg *obs.Registry, labels obs.Labels) nodeMetrics {
 			"threshold- or timer-triggered summary publications", labels),
 		flipsPublished: reg.Counter("summarycache_node_flips_published_total",
 			"bit flips shipped in directory updates", labels),
+		flipsCoalesced: reg.Counter("summarycache_node_flips_coalesced_total",
+			"redundant same-bit flips elided by publication coalescing", labels),
 		updateFullBytes: reg.Counter("summarycache_node_update_full_bytes_total",
 			"advertised DIRUPDATE bytes in full-state shipments", labels),
 		updateDeltaBytes: reg.Counter("summarycache_node_update_delta_bytes_total",
@@ -275,7 +284,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		log:       obs.OrNop(cfg.Logger),
 		tracer:    cfg.Tracer,
 	}
-	conn, err := icp.ListenWrapped(cfg.ListenAddr, n.handle, cfg.SocketWrapper)
+	conn, err := icp.ListenWith(cfg.ListenAddr, icp.ListenConfig{
+		Handler: n.handle,
+		Wrap:    cfg.SocketWrapper,
+		Config:  cfg.ICP,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +418,7 @@ func (n *Node) AddPeerTCP(udpAddr *net.UDPAddr, tcpAddr string) error {
 	n.peerAddrs[udpAddr.String()] = udpAddr
 	n.mu.Unlock()
 	n.tcpMu.Lock()
-	n.tcpPeers[udpAddr.String()] = icp.NewTCPClientWithConfig(tcpAddr, icp.TCPClientConfig{
+	n.tcpPeers[udpAddr.String()] = icp.NewTCPClient(tcpAddr, icp.TCPClientConfig{
 		DialTimeout:  n.cfg.UpdateDialTimeout,
 		WriteTimeout: n.cfg.UpdateWriteTimeout,
 	})
@@ -531,6 +544,7 @@ func (n *Node) Stats() NodeStats {
 		UpdatesReceived:  n.metrics.updatesRecv.Value(),
 		UpdateEvents:     n.metrics.updateEvents.Value(),
 		FlipsPublished:   n.metrics.flipsPublished.Value(),
+		FlipsCoalesced:   n.metrics.flipsCoalesced.Value(),
 		UpdateFullBytes:  n.metrics.updateFullBytes.Value(),
 		UpdateDeltaBytes: n.metrics.updateDeltaBytes.Value(),
 		FilterRebuilds:   n.metrics.filterRebuilds.Value(),
@@ -768,6 +782,13 @@ func (n *Node) publishLocked() {
 	if len(flips) == 0 {
 		return
 	}
+	if !n.cfg.ICP.DisableFlipCoalescing {
+		before := len(flips)
+		flips = coalesceFlips(flips)
+		if elided := before - len(flips); elided > 0 {
+			n.metrics.flipsCoalesced.Add(uint64(elided))
+		}
+	}
 	n.metrics.updateEvents.Inc()
 	n.metrics.flipsPublished.Add(uint64(len(flips)))
 	msgs := n.splitUpdate(flips)
@@ -779,7 +800,7 @@ func (n *Node) publishLocked() {
 		// One datagram to the group replaces N−1 unicasts; the cost is
 		// charged at the node level only (no per-peer attribution).
 		for _, m := range msgs {
-			if err := n.conn.Send(n.groupAddr, m); err == nil {
+			if err := n.conn.SendAsync(n.groupAddr, m); err == nil {
 				n.metrics.updatesSent.Inc()
 				n.metrics.updateDeltaBytes.Add(uint64(m.EncodedLen()))
 			}
@@ -788,12 +809,40 @@ func (n *Node) publishLocked() {
 	}
 	for _, addr := range n.PeerAddrs() {
 		for _, m := range msgs {
-			if err := n.sendUpdate(addr, m); err == nil {
+			if err := n.sendUpdateAsync(addr, m); err == nil {
 				n.metrics.updatesSent.Inc()
 				n.noteSent(addr.String(), m.EncodedLen(), false)
 			}
 		}
 	}
+}
+
+// coalesceFlips elides redundant same-bit records from a drained journal,
+// keeping only the LAST flip of each bit index: flips are absolute
+// set/clear records, so the final record alone determines the bit's state
+// on every receiver — a burst that flips a bit back and forth between
+// publications ships as one record instead of many. Relative order among
+// the surviving records is preserved (and iteration is over the slice, so
+// the result is deterministic for a given journal). The receiver-visible
+// end state is bit-identical to shipping the verbatim journal.
+func coalesceFlips(flips []bloom.Flip) []bloom.Flip {
+	if len(flips) < 2 {
+		return flips
+	}
+	last := make(map[uint32]int, len(flips))
+	for i, f := range flips {
+		last[f.Index] = i
+	}
+	if len(last) == len(flips) {
+		return flips // no bit flipped twice; nothing to elide
+	}
+	out := flips[:0]
+	for i, f := range flips {
+		if last[f.Index] == i {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // splitUpdate encodes pending flips into DIRUPDATE messages, reporting
@@ -835,7 +884,9 @@ func (n *Node) stampIdentity(msgs []icp.Message) {
 
 // sendUpdate routes one update message to a peer over its preferred
 // channel: the persistent TCP connection when one is registered, UDP
-// otherwise.
+// otherwise. Transmission is synchronous — full-state bootstraps use this
+// so the reset-flagged first message cannot be overtaken by its
+// successors.
 func (n *Node) sendUpdate(addr *net.UDPAddr, m icp.Message) error {
 	n.tcpMu.Lock()
 	cli := n.tcpPeers[addr.String()]
@@ -844,6 +895,21 @@ func (n *Node) sendUpdate(addr *net.UDPAddr, m icp.Message) error {
 		return cli.Send(m)
 	}
 	return n.conn.Send(addr, m)
+}
+
+// sendUpdateAsync is sendUpdate for delta publications: UDP peers get the
+// message through the endpoint's batched send ring (the publication loop
+// never blocks on per-datagram syscalls; reordering is safe because flips
+// are absolute records). TCP peers keep the synchronous framed channel,
+// which already preserves order.
+func (n *Node) sendUpdateAsync(addr *net.UDPAddr, m icp.Message) error {
+	n.tcpMu.Lock()
+	cli := n.tcpPeers[addr.String()]
+	n.tcpMu.Unlock()
+	if cli != nil {
+		return cli.Send(m)
+	}
+	return n.conn.SendAsync(addr, m)
 }
 
 // sendFullState ships the entire filter to one peer, flagged so the peer

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -126,6 +127,11 @@ type Config struct {
 	CacheShards int
 	// Summary configures the local directory summary (ModeSCICP).
 	Summary core.DirectoryConfig
+	// ICP tunes the ICP plane's pooling and batching: the send-ring depth
+	// behind asynchronous DIRUPDATE transmission and the publication-path
+	// flip coalescing (see icp.Config). The zero value selects every
+	// default.
+	ICP icp.Config
 	// MinUpdateFlips forwards to core.NodeConfig.MinFlipsToPublish
 	// (ModeSCICP): 0 keeps the prototype's fill-an-IP-packet batching.
 	MinUpdateFlips int
@@ -319,10 +325,7 @@ func newProxyMetrics(reg *obs.Registry, labels obs.Labels) proxyMetrics {
 // Proxy is a running caching proxy.
 type Proxy struct {
 	cfg   Config
-	cache *lru.Cache
-
-	bodyMu sync.RWMutex
-	bodies map[string][]byte
+	cache *lru.Cache // entries carry their document bodies (lru.Entry.Body)
 
 	node    *core.Node // ModeSCICP
 	icpConn *icp.Conn  // ModeICP
@@ -392,7 +395,6 @@ func Start(cfg Config) (*Proxy, error) {
 	}
 	p := &Proxy{
 		cfg:              cfg,
-		bodies:           make(map[string][]byte),
 		peerHTTP:         make(map[string]string),
 		fetchTimeout:     resolveDuration(cfg.FetchTimeout, DefaultFetchTimeout),
 		fetchRetries:     resolveCount(cfg.FetchRetries, DefaultFetchRetries),
@@ -481,7 +483,11 @@ func Start(cfg Config) (*Proxy, error) {
 	case ModeNone:
 		// no protocol endpoint
 	case ModeICP:
-		conn, err := icp.ListenWrapped(cfg.ICPAddr, p.handleICP, sockWrap)
+		conn, err := icp.ListenWith(cfg.ICPAddr, icp.ListenConfig{
+			Handler: p.handleICP,
+			Wrap:    sockWrap,
+			Config:  cfg.ICP,
+		})
 		if err != nil {
 			_ = ln.Close() // the ICP listen failure is the error worth reporting
 			return nil, err
@@ -496,6 +502,7 @@ func Start(cfg Config) (*Proxy, error) {
 			MinFlipsToPublish:   cfg.MinUpdateFlips,
 			QueryTimeout:        cfg.QueryTimeout,
 			SocketWrapper:       sockWrap,
+			ICP:                 cfg.ICP,
 			Metrics:             reg,
 			Logger:              cfg.Logger,
 			Tracer:              cfg.Tracer,
@@ -929,9 +936,6 @@ func (p *Proxy) onEvict(e lru.Entry, ev lru.Event) {
 	if ev == lru.EvictUpdated {
 		return
 	}
-	p.bodyMu.Lock()
-	delete(p.bodies, e.Key)
-	p.bodyMu.Unlock()
 	if p.node != nil {
 		p.node.HandleEvict(e.Key)
 	}
@@ -942,22 +946,14 @@ func (p *Proxy) cachedBody(key string) ([]byte, int64, bool) {
 	if !ok {
 		return nil, 0, false
 	}
-	p.bodyMu.RLock()
-	body, ok := p.bodies[key]
-	p.bodyMu.RUnlock()
-	return body, e.Version, ok
+	return e.Body, e.Version, true
 }
 
 func (p *Proxy) storeBody(key string, version int64, body []byte) {
-	p.bodyMu.Lock()
-	p.bodies[key] = body
-	p.bodyMu.Unlock()
-	if !p.cache.Put(lru.Entry{Key: key, Size: int64(len(body)), Version: version}) {
-		// Uncacheable (too large): drop the body again.
-		p.bodyMu.Lock()
-		delete(p.bodies, key)
-		p.bodyMu.Unlock()
-	}
+	// The payload rides the entry itself, so entry and body are stored —
+	// and later evicted — atomically. An uncacheable document (too large)
+	// is refused by Put and simply dropped.
+	p.cache.Put(lru.Entry{Key: key, Size: int64(len(body)), Version: version, Body: body})
 }
 
 // --- ICP handling (ModeICP) ---
@@ -989,7 +985,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == CacheOnlyPath:
 		p.serveCacheOnly(w, r)
 	case r.URL.Path == ProxyPath:
-		target := r.URL.Query().Get("url")
+		target := urlParam(r.URL.RawQuery)
 		if target == "" {
 			http.Error(w, "missing url parameter", http.StatusBadRequest)
 			return
@@ -1002,8 +998,36 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// urlParam extracts the url query parameter without building the full
+// url.Values map (two allocations per request on the proxy's hottest
+// entrypoint). Unescaping only runs when the value actually contains
+// percent-escapes or '+'.
+func urlParam(rawQuery string) string {
+	for len(rawQuery) > 0 {
+		pair := rawQuery
+		if i := strings.IndexByte(pair, '&'); i >= 0 {
+			pair, rawQuery = pair[:i], pair[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		v, ok := strings.CutPrefix(pair, "url=")
+		if !ok {
+			continue
+		}
+		if strings.IndexByte(v, '%') < 0 && strings.IndexByte(v, '+') < 0 {
+			return v
+		}
+		dec, err := url.QueryUnescape(v)
+		if err != nil {
+			return ""
+		}
+		return dec
+	}
+	return ""
+}
+
 func (p *Proxy) serveCacheOnly(w http.ResponseWriter, r *http.Request) {
-	key := r.URL.Query().Get("url")
+	key := urlParam(r.URL.RawQuery)
 	body, version, ok := p.cachedBody(key)
 	if !ok {
 		http.Error(w, "not cached", http.StatusNotFound)
@@ -1334,7 +1358,7 @@ func (p *Proxy) fetchPeerOnce(ctx context.Context, base, target string) (body []
 		io.Copy(io.Discard, resp.Body)
 		return nil, 0, false // race: sibling evicted it (a false hit after all)
 	}
-	body, err = io.ReadAll(resp.Body)
+	body, err = readBody(resp)
 	if err != nil {
 		return nil, 0, false
 	}
@@ -1343,6 +1367,30 @@ func (p *Proxy) fetchPeerOnce(ctx context.Context, base, target string) (body []
 	}
 	return body, version, true
 }
+
+// readBody slurps a response body, sizing the buffer from Content-Length
+// when the server declared one — one exact allocation instead of
+// io.ReadAll's grow-and-copy doublings. A body shorter than declared
+// surfaces as io.ReadFull's unexpected-EOF error, the same truncation
+// signal io.ReadAll's callers already classify as retryable.
+func readBody(resp *http.Response) ([]byte, error) {
+	n := resp.ContentLength
+	if n < 0 || n > maxDeclaredBody {
+		return io.ReadAll(resp.Body)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(resp.Body, body); err != nil {
+		return nil, err
+	}
+	// Content-Length overrun would mean a server bug; the transport already
+	// truncates reads at the declared length, so body is complete here.
+	return body, nil
+}
+
+// maxDeclaredBody caps how much readBody preallocates on the server's word
+// alone; anything larger falls back to incremental reading rather than
+// trusting a hostile header with a huge allocation.
+const maxDeclaredBody = 64 << 20
 
 // fetchOrigin fetches a document from the origin (or the parent proxy),
 // retrying retryable failures — transport errors, 5xx statuses, truncated
@@ -1429,7 +1477,7 @@ func (p *Proxy) fetchOriginOnce(ctx context.Context, fetchURL string) (body []by
 		io.Copy(io.Discard, resp.Body)
 		return nil, 0, resp.StatusCode >= 500, fmt.Errorf("origin status %d", resp.StatusCode)
 	}
-	body, err = io.ReadAll(resp.Body)
+	body, err = readBody(resp)
 	if err != nil {
 		return nil, 0, true, err
 	}

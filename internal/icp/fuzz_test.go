@@ -1,0 +1,124 @@
+package icp
+
+import (
+	"reflect"
+	"testing"
+
+	"summarycache/internal/bloom"
+	"summarycache/internal/hashing"
+)
+
+// mustWire encodes m for use as a fuzz seed, panicking on the (impossible
+// for the fixed corpus) error path.
+func mustWire(tb testing.TB, m Message) []byte {
+	tb.Helper()
+	b, err := m.MarshalBinary()
+	if err != nil {
+		tb.Fatalf("encode seed: %v", err)
+	}
+	return b
+}
+
+// FuzzDecoder cross-checks the in-place Decoder against the allocating
+// Parse on arbitrary input: both must agree on whether a datagram is
+// well-formed, and on every field of the result when it is. The seeds
+// mirror the wire_test.go round-trip corpus plus its malformed vectors.
+func FuzzDecoder(f *testing.F) {
+	f.Add(mustWire(f, NewQuery(1, "http://example.com/a")))
+	f.Add(mustWire(f, NewReply(OpHit, 2, "http://example.com/a")))
+	f.Add(mustWire(f, NewReply(OpMiss, 3, "http://example.com/b")))
+	f.Add(mustWire(f, NewDirUpdate(4, hashing.DefaultSpec, 1<<20, []bloom.Flip{
+		{Index: 0, Set: true},
+		{Index: 12345, Set: false},
+		{Index: 1<<31 - 1, Set: true},
+	})))
+	f.Add(mustWire(f, NewDirUpdate(5, hashing.DefaultSpec, 1<<20, nil)))
+	// Malformed vectors: short header, bad version, length mismatch,
+	// unterminated URL, truncated flip table.
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(func() []byte {
+		b := mustWire(f, NewQuery(6, "http://example.com/c"))
+		b[1] = 99 // version
+		return b
+	}())
+	f.Add(func() []byte {
+		b := mustWire(f, NewQuery(7, "http://example.com/d"))
+		return b[:len(b)-1] // drop the NUL
+	}())
+	f.Add(func() []byte {
+		b := mustWire(f, NewDirUpdate(8, hashing.DefaultSpec, 1<<20, []bloom.Flip{{Index: 9, Set: true}}))
+		return b[:len(b)-2] // truncate the flip table
+	}())
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		want, wantErr := Parse(b)
+
+		var dec Decoder
+		got, gotErr := dec.Decode(b)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error disagreement: Parse=%v Decode=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		checkEqual(t, "fresh decoder", got, want)
+
+		// A reused decoder must behave identically: decode something else
+		// first so the scratch is dirty, then decode b again.
+		scrap := mustWire(t, NewDirUpdate(9, hashing.DefaultSpec, 1<<20, []bloom.Flip{
+			{Index: 7, Set: true}, {Index: 8, Set: false}, {Index: 9, Set: true},
+		}))
+		if _, err := dec.Decode(scrap); err != nil {
+			t.Fatalf("decode scrap: %v", err)
+		}
+		again, err := dec.Decode(b)
+		if err != nil {
+			t.Fatalf("reused decoder rejected input Parse accepted: %v", err)
+		}
+		checkEqual(t, "reused decoder", again, want)
+
+		// Round-trip stability: re-encoding a successful decode must
+		// reproduce the canonical wire form of the parsed message.
+		kept := again.Clone()
+		re, err := kept.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		canon, err := want.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode parsed: %v", err)
+		}
+		if !reflect.DeepEqual(re, canon) {
+			t.Fatalf("re-encode mismatch:\n decoder: %x\n parse:   %x", re, canon)
+		}
+	})
+}
+
+// checkEqual asserts two decoded Messages agree field-for-field, comparing
+// Update payloads by value rather than pointer.
+func checkEqual(t *testing.T, label string, got, want Message) {
+	t.Helper()
+	gu, wu := got.Update, want.Update
+	got.Update, want.Update = nil, nil
+	if got != want {
+		t.Fatalf("%s: message mismatch:\n got  %+v\n want %+v", label, got, want)
+	}
+	if (gu == nil) != (wu == nil) {
+		t.Fatalf("%s: update presence mismatch: got %v want %v", label, gu, wu)
+	}
+	if gu == nil {
+		return
+	}
+	if gu.Spec != wu.Spec || gu.Bits != wu.Bits {
+		t.Fatalf("%s: update header mismatch:\n got  %+v\n want %+v", label, gu, wu)
+	}
+	if len(gu.Flips) != len(wu.Flips) {
+		t.Fatalf("%s: flip count mismatch: got %d want %d", label, len(gu.Flips), len(wu.Flips))
+	}
+	for i := range gu.Flips {
+		if gu.Flips[i] != wu.Flips[i] {
+			t.Fatalf("%s: flip %d mismatch: got %+v want %+v", label, i, gu.Flips[i], wu.Flips[i])
+		}
+	}
+}

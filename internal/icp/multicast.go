@@ -76,7 +76,11 @@ func (m *MulticastGroup) Close() error {
 
 func (m *MulticastGroup) readLoop() {
 	defer close(m.done)
+	// One reusable receive buffer plus an in-place Decoder: a steady-state
+	// group datagram is received and decoded with zero allocations (the
+	// Handler borrow contract applies, as on Conn).
 	buf := make([]byte, MaxDatagram)
+	var dec Decoder
 	for {
 		n, from, err := m.pc.ReadFromUDP(buf)
 		if err != nil {
@@ -94,7 +98,7 @@ func (m *MulticastGroup) readLoop() {
 		}
 		m.recv.Add(1)
 		m.recvB.Add(uint64(n))
-		msg, err := Parse(buf[:n])
+		msg, err := dec.Decode(buf[:n])
 		if err != nil {
 			m.dropped.Add(1)
 			continue

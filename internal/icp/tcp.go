@@ -30,19 +30,38 @@ const frameHeaderLen = 4
 // ErrFrameTooLarge reports an oversized frame on the TCP channel.
 var ErrFrameTooLarge = errors.New("icp: TCP frame exceeds maximum message size")
 
-// WriteFrame writes one framed message to w.
+// WriteFrame writes one framed message to w. The frame is assembled in a
+// pooled buffer (sized for header + MaxDatagram), so a steady-state send
+// allocates nothing.
 func WriteFrame(w io.Writer, m Message) (int, error) {
-	buf := make([]byte, frameHeaderLen, frameHeaderLen+m.EncodedLen())
+	bp := getBuf()
+	defer putBuf(bp)
+	buf := append(*bp, 0, 0, 0, 0)
 	buf, err := m.Append(buf)
 	if err != nil {
 		return 0, err
 	}
+	*bp = buf
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-frameHeaderLen))
 	return w.Write(buf)
 }
 
-// ReadFrame reads one framed message from r.
+// ReadFrame reads one framed message from r. The returned Message owns its
+// memory; the connection-serving loop uses readFrameInto with a Decoder to
+// avoid the per-frame allocations.
 func ReadFrame(r io.Reader) (Message, int, error) {
+	var dec Decoder
+	m, n, err := readFrameInto(r, nil, &dec)
+	if err != nil {
+		return m, n, err
+	}
+	return m.Clone(), n, nil
+}
+
+// readFrameInto reads one frame into scratch (grown as needed, reused
+// across calls) and decodes it in place via dec. The returned Message
+// borrows both until the next call.
+func readFrameInto(r io.Reader, scratch *[]byte, dec *Decoder) (Message, int, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, 0, err
@@ -51,11 +70,18 @@ func ReadFrame(r io.Reader) (Message, int, error) {
 	if n > MaxDatagram {
 		return Message{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	body := make([]byte, n)
+	var local []byte
+	if scratch == nil {
+		scratch = &local
+	}
+	if uint32(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, 0, err
 	}
-	m, err := Parse(body)
+	m, err := dec.Decode(body)
 	return m, frameHeaderLen + int(n), err
 }
 
@@ -144,8 +170,13 @@ func (s *TCPServer) serve(conn net.Conn) {
 	if from != nil {
 		udpFrom = &net.UDPAddr{IP: from.IP, Port: from.Port}
 	}
+	// Per-connection frame scratch and in-place Decoder: steady-state
+	// frames are read and decoded without allocating (Handler borrow
+	// contract applies).
+	var scratch []byte
+	var dec Decoder
 	for {
-		m, n, err := ReadFrame(br)
+		m, n, err := readFrameInto(br, &scratch, &dec)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.dropped.Add(1)
@@ -188,15 +219,12 @@ type TCPClient struct {
 }
 
 // NewTCPClient prepares a client for the peer's update address; the
-// connection is established on first Send. A dialTimeout ≤ 0 means
-// DefaultDialTimeout.
-func NewTCPClient(addr string, dialTimeout time.Duration) *TCPClient {
-	return NewTCPClientWithConfig(addr, TCPClientConfig{DialTimeout: dialTimeout})
-}
-
-// NewTCPClientWithConfig prepares a client with explicit deadlines; the
-// connection is established on first Send.
-func NewTCPClientWithConfig(addr string, cfg TCPClientConfig) *TCPClient {
+// connection is established on first Send. This config form is the one
+// canonical constructor (the positional dial-timeout form and the
+// NewTCPClientWithConfig spelling of earlier revisions both folded into
+// it). A zero DialTimeout means DefaultDialTimeout; negative disables the
+// bound.
+func NewTCPClient(addr string, cfg TCPClientConfig) *TCPClient {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = DefaultDialTimeout
 	}

@@ -11,7 +11,7 @@ import (
 
 // A canceled context must abort SendContext before any network I/O.
 func TestTCPClientSendContextCanceled(t *testing.T) {
-	c := NewTCPClient("127.0.0.1:1", 0) // nothing listens; must not matter
+	c := NewTCPClient("127.0.0.1:1", TCPClientConfig{}) // nothing listens; must not matter
 	defer c.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -27,13 +27,13 @@ func TestTCPClientSendContextCanceled(t *testing.T) {
 // Config plumbing: the zero dial timeout falls back to the default; explicit
 // values pass through.
 func TestTCPClientConfigDefaults(t *testing.T) {
-	if c := NewTCPClient("x:1", 0); c.cfg.DialTimeout != DefaultDialTimeout {
+	if c := NewTCPClient("x:1", TCPClientConfig{}); c.cfg.DialTimeout != DefaultDialTimeout {
 		t.Fatalf("dial timeout = %v, want default %v", c.cfg.DialTimeout, DefaultDialTimeout)
 	}
-	if c := NewTCPClient("x:1", 2*time.Second); c.cfg.DialTimeout != 2*time.Second {
+	if c := NewTCPClient("x:1", TCPClientConfig{DialTimeout: 2 * time.Second}); c.cfg.DialTimeout != 2*time.Second {
 		t.Fatalf("positional dial timeout not honored: %v", c.cfg.DialTimeout)
 	}
-	c := NewTCPClientWithConfig("x:1", TCPClientConfig{DialTimeout: -1, WriteTimeout: time.Second})
+	c := NewTCPClient("x:1", TCPClientConfig{DialTimeout: -1, WriteTimeout: time.Second})
 	if c.cfg.DialTimeout != -1 || c.cfg.WriteTimeout != time.Second {
 		t.Fatalf("explicit config not honored: %+v", c.cfg)
 	}
@@ -43,10 +43,10 @@ func TestTCPClientConfigDefaults(t *testing.T) {
 // deadline.
 func TestTCPClientWriteDeadlineSelection(t *testing.T) {
 	bg := context.Background()
-	if _, ok := NewTCPClientWithConfig("x:1", TCPClientConfig{}).writeDeadline(bg); ok {
+	if _, ok := NewTCPClient("x:1", TCPClientConfig{}).writeDeadline(bg); ok {
 		t.Fatal("deadline reported with neither timeout nor context deadline")
 	}
-	c := NewTCPClientWithConfig("x:1", TCPClientConfig{WriteTimeout: time.Minute})
+	c := NewTCPClient("x:1", TCPClientConfig{WriteTimeout: time.Minute})
 	d1, ok := c.writeDeadline(bg)
 	if !ok || time.Until(d1) > time.Minute || time.Until(d1) < 50*time.Second {
 		t.Fatalf("WriteTimeout deadline wrong: %v ok=%v", d1, ok)
@@ -74,7 +74,7 @@ func TestTCPClientWriteTimeoutEnforced(t *testing.T) {
 	}
 	defer srv.Close()
 
-	c := NewTCPClientWithConfig(srv.Addr().String(), TCPClientConfig{
+	c := NewTCPClient(srv.Addr().String(), TCPClientConfig{
 		DialTimeout:  time.Second,
 		WriteTimeout: time.Nanosecond, // expired by the time Write runs
 	})
@@ -101,7 +101,7 @@ func TestTCPClientWriteTimeoutClearedBetweenSends(t *testing.T) {
 	}
 	defer srv.Close()
 
-	c := NewTCPClientWithConfig(srv.Addr().String(), TCPClientConfig{
+	c := NewTCPClient(srv.Addr().String(), TCPClientConfig{
 		DialTimeout:  time.Second,
 		WriteTimeout: 2 * time.Second,
 	})

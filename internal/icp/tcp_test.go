@@ -71,7 +71,7 @@ func TestTCPServerClient(t *testing.T) {
 	}
 	defer srv.Close()
 
-	cli := NewTCPClient(srv.Addr().String(), time.Second)
+	cli := NewTCPClient(srv.Addr().String(), TCPClientConfig{DialTimeout: time.Second})
 	defer cli.Close()
 
 	flips := []bloom.Flip{{Index: 1, Set: true}, {Index: 9, Set: false}}
@@ -118,7 +118,7 @@ func TestTCPClientReconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := srv.Addr().String()
-	cli := NewTCPClient(addr, time.Second)
+	cli := NewTCPClient(addr, TCPClientConfig{DialTimeout: time.Second})
 	defer cli.Close()
 
 	if err := cli.Send(NewQuery(1, "http://pre/")); err != nil {
@@ -158,7 +158,7 @@ func TestTCPClientReconnect(t *testing.T) {
 }
 
 func TestTCPClientDialFailure(t *testing.T) {
-	cli := NewTCPClient("127.0.0.1:1", 100*time.Millisecond)
+	cli := NewTCPClient("127.0.0.1:1", TCPClientConfig{DialTimeout: 100 * time.Millisecond})
 	defer cli.Close()
 	if err := cli.Send(NewQuery(1, "http://x/")); err == nil {
 		t.Fatal("send to dead address succeeded")
@@ -187,7 +187,7 @@ func TestTCPLargeUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cli := NewTCPClient(srv.Addr().String(), time.Second)
+	cli := NewTCPClient(srv.Addr().String(), TCPClientConfig{DialTimeout: time.Second})
 	defer cli.Close()
 
 	flips := make([]bloom.Flip, MaxFlipsPerMessage)

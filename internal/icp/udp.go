@@ -25,7 +25,50 @@ type Stats struct {
 // directory updates). Replies to in-flight queries are routed internally
 // and never reach the handler. Handlers run on the receive goroutine;
 // blocking ones stall the socket.
+//
+// The Message is decoded in place: its Update field (and the Flips inside)
+// borrow scratch owned by the receive loop and are only valid for the
+// duration of the call. A handler that needs the update past its return
+// must copy it (URL strings are owned and safe to retain).
 type Handler func(from *net.UDPAddr, m Message)
+
+// DefaultSendQueue is the depth, in datagrams, of a Conn's asynchronous
+// send ring when Config.SendQueue is zero.
+const DefaultSendQueue = 256
+
+// Config tunes the ICP plane's pooling and batching machinery — the knobs
+// behind the zero-allocation fast path. The zero value selects every
+// default, so existing callers configure nothing.
+type Config struct {
+	// SendQueue is the depth of the asynchronous send ring in datagrams
+	// (0: DefaultSendQueue). SendAsync enqueues loss-tolerant traffic
+	// (directory updates) here; a dedicated sender goroutine drains the
+	// ring in batches, so a burst of updates never blocks the caller on
+	// per-datagram syscalls. When the ring is full, SendAsync falls back
+	// to a synchronous in-line send rather than dropping.
+	SendQueue int
+	// DisableFlipCoalescing turns off per-peer DIRUPDATE flip coalescing
+	// in the publication path (the core layer consumes this knob): by
+	// default, when a burst of directory changes flips the same bit more
+	// than once between publications, only the final state of each bit is
+	// shipped. Flips are absolute set/clear records, so coalescing
+	// preserves the receiver's final replica state exactly; disable it
+	// only to reproduce the prototype's verbatim journal streams.
+	DisableFlipCoalescing bool
+}
+
+// ListenConfig parameterizes ListenWith — the canonical configured form of
+// opening an ICP endpoint.
+type ListenConfig struct {
+	// Handler consumes unsolicited inbound messages (may be nil to ignore
+	// them).
+	Handler Handler
+	// Wrap, when set, decorates the bound socket before use — the
+	// fault-injection hook. Nil: the raw socket, with no interposed call.
+	Wrap SocketWrapper
+	// Config tunes pooling and batching.
+	Config Config
+}
 
 // ErrClosed is returned by operations on a closed Conn.
 var ErrClosed = errors.New("icp: connection closed")
@@ -52,6 +95,13 @@ type reply struct {
 	from *net.UDPAddr
 }
 
+// outgoing is one encoded datagram queued on the send ring. buf is a
+// pooled buffer the sender goroutine returns after the write.
+type outgoing struct {
+	to  *net.UDPAddr
+	buf *[]byte
+}
+
 // Conn is an ICP endpoint over UDP: it serves peer queries via a Handler
 // and issues queries with request-number matching and timeouts.
 type Conn struct {
@@ -66,6 +116,10 @@ type Conn struct {
 	closed  bool
 	started bool
 	done    chan struct{}
+
+	sendQ    chan outgoing
+	sendStop chan struct{}
+	sendDone chan struct{}
 }
 
 // Listen opens an ICP endpoint on addr ("127.0.0.1:0" for an ephemeral
@@ -75,13 +129,13 @@ type Conn struct {
 // starting to serve inside the constructor would race with those
 // assignments.
 func Listen(addr string, handler Handler) (*Conn, error) {
-	return ListenWrapped(addr, handler, nil)
+	return ListenWith(addr, ListenConfig{Handler: handler})
 }
 
-// ListenWrapped is Listen with an optional socket wrapper interposed
-// between the endpoint and the wire (fault injection; see SocketWrapper).
-// A nil wrap is the zero-overhead passthrough Listen uses.
-func ListenWrapped(addr string, handler Handler, wrap SocketWrapper) (*Conn, error) {
+// ListenWith is the configured form of Listen: the socket wrapper
+// (fault injection) and the batching knobs ride one struct. (It replaces
+// the positional ListenWrapped of earlier revisions.)
+func ListenWith(addr string, cfg ListenConfig) (*Conn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("icp: resolve %q: %w", addr, err)
@@ -91,21 +145,29 @@ func ListenWrapped(addr string, handler Handler, wrap SocketWrapper) (*Conn, err
 		return nil, fmt.Errorf("icp: listen %q: %w", addr, err)
 	}
 	var sock PacketConn = pc
-	if wrap != nil {
-		sock = wrap(sock)
+	if cfg.Wrap != nil {
+		sock = cfg.Wrap(sock)
+	}
+	depth := cfg.Config.SendQueue
+	if depth <= 0 {
+		depth = DefaultSendQueue
 	}
 	c := &Conn{
-		pc:      sock,
-		handler: handler,
-		pending: make(map[uint32]chan reply),
-		done:    make(chan struct{}),
+		pc:       sock,
+		handler:  cfg.Handler,
+		pending:  make(map[uint32]chan reply),
+		done:     make(chan struct{}),
+		sendQ:    make(chan outgoing, depth),
+		sendStop: make(chan struct{}),
+		sendDone: make(chan struct{}),
 	}
 	return c, nil
 }
 
-// Start begins the receive loop. It must be called exactly once, after the
-// handler's dependencies are fully initialized. Datagrams arriving before
-// Start sit in the socket buffer and are processed once it runs.
+// Start begins the receive loop and the send-ring drainer. It must be
+// called exactly once, after the handler's dependencies are fully
+// initialized. Datagrams arriving before Start sit in the socket buffer
+// and are processed once it runs.
 func (c *Conn) Start() {
 	c.mu.Lock()
 	if c.started || c.closed {
@@ -115,6 +177,7 @@ func (c *Conn) Start() {
 	c.started = true
 	c.mu.Unlock()
 	go c.readLoop()
+	go c.sendLoop()
 }
 
 // Addr returns the bound UDP address.
@@ -146,20 +209,69 @@ func (c *Conn) Close() error {
 	c.pending = make(map[uint32]chan reply)
 	started := c.started
 	c.mu.Unlock()
+	close(c.sendStop)
 	err := c.pc.Close()
 	if started {
 		<-c.done
+		<-c.sendDone
 	}
 	return err
 }
 
-// Send encodes and transmits m to the peer.
+// Send encodes and transmits m to the peer synchronously. The encoding
+// buffer comes from the shared pool, so a steady-state send allocates
+// nothing.
 func (c *Conn) Send(to *net.UDPAddr, m Message) error {
-	buf, err := m.MarshalBinary()
+	bp := getBuf()
+	buf, err := m.Append(*bp)
 	if err != nil {
+		putBuf(bp)
 		return err
 	}
-	n, err := c.pc.WriteToUDP(buf, to)
+	*bp = buf
+	err = c.write(to, bp)
+	putBuf(bp)
+	return err
+}
+
+// SendAsync encodes m into a pooled buffer and queues it on the send ring;
+// the sender goroutine drains the ring in batches and returns the buffer.
+// Use it for loss-tolerant traffic (directory updates) where the caller
+// must not block on per-datagram syscalls — a full ring falls back to a
+// synchronous in-line send (which may overtake queued datagrams; DIRUPDATE
+// flips are absolute records, so reordering is safe by design). Transmit
+// errors on the asynchronous path surface only in the SendErrors counter.
+func (c *Conn) SendAsync(to *net.UDPAddr, m Message) error {
+	bp := getBuf()
+	buf, err := m.Append(*bp)
+	if err != nil {
+		putBuf(bp)
+		return err
+	}
+	*bp = buf
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		putBuf(bp)
+		return ErrClosed
+	}
+	select {
+	case c.sendQ <- outgoing{to: to, buf: bp}:
+		c.mu.Unlock()
+		return nil
+	default:
+	}
+	c.mu.Unlock()
+	// Ring full: the mesh is sending faster than the socket drains.
+	// Degrade to the synchronous path instead of dropping locally.
+	err = c.write(to, bp)
+	putBuf(bp)
+	return err
+}
+
+// write transmits one encoded datagram and maintains the counters.
+func (c *Conn) write(to *net.UDPAddr, bp *[]byte) error {
+	n, err := c.pc.WriteToUDP(*bp, to)
 	if err != nil {
 		c.mu.Lock()
 		closed := c.closed
@@ -176,6 +288,45 @@ func (c *Conn) Send(to *net.UDPAddr, m Message) error {
 	c.sent.Add(1)
 	c.sentB.Add(uint64(n))
 	return nil
+}
+
+// sendLoop is the send ring's drainer: each wakeup writes every datagram
+// queued at that moment before blocking again, so a publication burst
+// costs one goroutine handoff rather than one per datagram.
+func (c *Conn) sendLoop() {
+	defer close(c.sendDone)
+	for {
+		select {
+		case o := <-c.sendQ:
+			c.drainOne(o)
+			for {
+				select {
+				case o := <-c.sendQ:
+					c.drainOne(o)
+					continue
+				default:
+				}
+				break
+			}
+		case <-c.sendStop:
+			// Closed: release anything still queued without touching the
+			// (already closed) socket.
+			for {
+				select {
+				case o := <-c.sendQ:
+					putBuf(o.buf)
+					continue
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+func (c *Conn) drainOne(o outgoing) {
+	_ = c.write(o.to, o.buf) // async path: failures land in SendErrors
+	putBuf(o.buf)
 }
 
 // NextReqNum returns a fresh request number. The 32-bit counter wraps
@@ -292,6 +443,7 @@ func (c *Conn) QueryAllFunc(ctx context.Context, peers []*net.UDPAddr, url strin
 func (c *Conn) readLoop() {
 	defer close(c.done)
 	buf := make([]byte, MaxDatagram)
+	var dec Decoder
 	for {
 		n, from, err := c.pc.ReadFromUDP(buf)
 		if err != nil {
@@ -310,12 +462,15 @@ func (c *Conn) readLoop() {
 		}
 		c.recv.Add(1)
 		c.recvB.Add(uint64(n))
-		m, err := Parse(buf[:n])
+		m, err := dec.Decode(buf[:n])
 		if err != nil {
 			c.dropped.Add(1)
 			continue
 		}
 		if isReply(m.Op) {
+			// Reply opcodes carry no DirUpdate payload, so the Message
+			// crossing to the waiting goroutine holds only owned data
+			// (the URL string); the decoder scratch never escapes.
 			c.mu.Lock()
 			ch := c.pending[m.ReqNum]
 			c.mu.Unlock()

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"summarycache/internal/bloom"
 	"summarycache/internal/hashing"
@@ -103,6 +104,34 @@ const MaxDatagram = 65507
 // MaxFlipsPerMessage is the most flip records one DIRUPDATE datagram holds.
 const MaxFlipsPerMessage = (MaxDatagram - HeaderLen - DirUpdateHeaderLen) / 4
 
+// bufPool recycles datagram-sized scratch buffers across the package's hot
+// paths: Conn.Send/SendAsync encode into them, the UDP and multicast
+// receive loops read into them, and the TCP framing borrows them too. The
+// extra frameHeaderLen of capacity lets a maximum-size message and its TCP
+// length prefix share one buffer without reallocating.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxDatagram+frameHeaderLen)
+		return &b
+	},
+}
+
+// getBuf borrows an empty datagram-capacity buffer from the pool.
+func getBuf() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// putBuf returns a buffer to the pool. Buffers that grew past the pooled
+// capacity (none of this package's callers do that) are dropped rather
+// than poisoning the pool with odd sizes.
+func putBuf(bp *[]byte) {
+	if cap(*bp) == MaxDatagram+frameHeaderLen {
+		bufPool.Put(bp)
+	}
+}
+
 // Wire format errors.
 var (
 	ErrTruncated    = errors.New("icp: truncated message")
@@ -150,6 +179,18 @@ type Message struct {
 	RequesterAddr uint32
 	// Update is the OpDirUpdate payload.
 	Update *DirUpdate
+}
+
+// Clone returns a deep copy of m that shares no memory with decoder
+// scratch: the DirUpdate and its flip slice are freshly allocated. Handlers
+// that must retain a borrowed Message past their return use this.
+func (m Message) Clone() Message {
+	if m.Update != nil {
+		u := *m.Update
+		u.Flips = append([]bloom.Flip(nil), m.Update.Flips...)
+		m.Update = &u
+	}
+	return m
 }
 
 // NewQuery builds a query for url.
@@ -243,51 +284,131 @@ func (m Message) MarshalBinary() ([]byte, error) {
 	return m.Append(make([]byte, 0, m.EncodedLen()))
 }
 
-// Parse decodes one datagram.
-func Parse(b []byte) (Message, error) {
-	var m Message
+// parseHeader validates the fixed 20-byte header into m and returns the
+// opcode-specific body. It allocates nothing.
+func parseHeader(b []byte, m *Message) ([]byte, error) {
 	if len(b) < HeaderLen {
-		return m, ErrTruncated
+		return nil, ErrTruncated
 	}
 	m.Op = Opcode(b[0])
 	m.Version = b[1]
 	if m.Version != Version {
-		return m, fmt.Errorf("%w: %d", ErrBadVersion, m.Version)
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, m.Version)
 	}
 	msgLen := int(binary.BigEndian.Uint16(b[2:4]))
 	// A 16-bit length field cannot express datagrams above 64 KiB; such
 	// messages are rejected at encode time.
 	if msgLen != len(b) {
-		return m, fmt.Errorf("%w: header says %d, datagram is %d", ErrBadLength, msgLen, len(b))
+		return nil, fmt.Errorf("%w: header says %d, datagram is %d", ErrBadLength, msgLen, len(b))
 	}
 	m.ReqNum = binary.BigEndian.Uint32(b[4:8])
 	m.Options = binary.BigEndian.Uint32(b[8:12])
 	m.OptionData = binary.BigEndian.Uint32(b[12:16])
 	m.SenderAddr = binary.BigEndian.Uint32(b[16:20])
-	body := b[HeaderLen:]
+	return b[HeaderLen:], nil
+}
+
+// parseDirUpdateHeader validates a DIRUPDATE extension header into u and
+// returns the flip-record bytes and count. Flips are left for the caller,
+// which decides where the decoded records live.
+func parseDirUpdateHeader(body []byte, u *DirUpdate) (rest []byte, n int, err error) {
+	if len(body) < DirUpdateHeaderLen {
+		return nil, 0, ErrTruncated
+	}
+	u.Spec = hashing.Spec{
+		FunctionNum:  int(binary.BigEndian.Uint16(body[0:2])),
+		FunctionBits: int(binary.BigEndian.Uint16(body[2:4])),
+	}
+	u.Bits = binary.BigEndian.Uint32(body[4:8])
+	n = int(binary.BigEndian.Uint32(body[8:12]))
+	rest = body[DirUpdateHeaderLen:]
+	if len(rest) != 4*n {
+		return nil, 0, fmt.Errorf("%w: %d flip records declared, %d bytes present", ErrBadLength, n, len(rest))
+	}
+	return rest, n, nil
+}
+
+// decodeFlips appends the n flip records in rest onto dst.
+func decodeFlips(dst []bloom.Flip, rest []byte, n int) []bloom.Flip {
+	for i := 0; i < n; i++ {
+		w := binary.BigEndian.Uint32(rest[4*i:])
+		dst = append(dst, bloom.Flip{Index: w &^ (1 << 31), Set: w&(1<<31) != 0})
+	}
+	return dst
+}
+
+// Parse decodes one datagram into a fully caller-owned Message: the flip
+// slice and DirUpdate are freshly allocated, so the result may be retained
+// indefinitely. Hot receive loops use a Decoder instead, which reuses its
+// scratch across messages.
+func Parse(b []byte) (Message, error) {
+	var m Message
+	body, err := parseHeader(b, &m)
+	if err != nil {
+		return m, err
+	}
 	switch {
 	case m.Op == OpDirUpdate:
-		if len(body) < DirUpdateHeaderLen {
+		u := &DirUpdate{}
+		rest, n, err := parseDirUpdateHeader(body, u)
+		if err != nil {
+			return m, err
+		}
+		u.Flips = decodeFlips(make([]bloom.Flip, 0, n), rest, n)
+		m.Update = u
+	case m.Op == OpQuery:
+		if len(body) < 5 {
 			return m, ErrTruncated
 		}
-		u := &DirUpdate{
-			Spec: hashing.Spec{
-				FunctionNum:  int(binary.BigEndian.Uint16(body[0:2])),
-				FunctionBits: int(binary.BigEndian.Uint16(body[2:4])),
-			},
-			Bits: binary.BigEndian.Uint32(body[4:8]),
+		m.RequesterAddr = binary.BigEndian.Uint32(body[0:4])
+		url, err := cutNUL(body[4:])
+		if err != nil {
+			return m, err
 		}
-		n := int(binary.BigEndian.Uint32(body[8:12]))
-		rest := body[DirUpdateHeaderLen:]
-		if len(rest) != 4*n {
-			return m, fmt.Errorf("%w: %d flip records declared, %d bytes present", ErrBadLength, n, len(rest))
+		m.URL = url
+	case hasURLPayload(m.Op):
+		url, err := cutNUL(body)
+		if err != nil {
+			return m, err
 		}
-		u.Flips = make([]bloom.Flip, n)
-		for i := 0; i < n; i++ {
-			w := binary.BigEndian.Uint32(rest[4*i:])
-			u.Flips[i] = bloom.Flip{Index: w &^ (1 << 31), Set: w&(1<<31) != 0}
+		m.URL = url
+	}
+	return m, nil
+}
+
+// A Decoder parses datagrams in place, without per-message allocation: the
+// DirUpdate header and flip records decode into scratch the Decoder owns
+// and reuses across calls. The returned Message's Update (and its Flips)
+// are therefore only valid until the next Decode — exactly the borrow
+// contract Handler documents. A decoded URL is still one string allocation
+// (handlers retain URLs beyond the datagram's lifetime, so a view into the
+// receive buffer would dangle); DIRUPDATE traffic, the mesh's volume
+// driver, decodes with zero allocations steady-state.
+//
+// A Decoder must not be shared between goroutines without external
+// serialization; each receive loop owns one.
+type Decoder struct {
+	upd   DirUpdate
+	flips []bloom.Flip
+}
+
+// Decode parses one datagram. See the Decoder contract for the lifetime of
+// the result.
+func (d *Decoder) Decode(b []byte) (Message, error) {
+	var m Message
+	body, err := parseHeader(b, &m)
+	if err != nil {
+		return m, err
+	}
+	switch {
+	case m.Op == OpDirUpdate:
+		rest, n, err := parseDirUpdateHeader(body, &d.upd)
+		if err != nil {
+			return m, err
 		}
-		m.Update = u
+		d.flips = decodeFlips(d.flips[:0], rest, n)
+		d.upd.Flips = d.flips
+		m.Update = &d.upd
 	case m.Op == OpQuery:
 		if len(body) < 5 {
 			return m, ErrTruncated

@@ -37,6 +37,13 @@ type Entry struct {
 	Version int64  // last-modified timestamp or content fingerprint; a
 	// mismatch on a later request is a staleness signal (the
 	// paper counts such hits as misses / remote stale hits)
+
+	// Body optionally carries the document payload, so a caller serving
+	// real documents (the HTTP proxy) needs no side table keyed by the
+	// same string — one lock and one lookup per hit, and eviction drops
+	// entry and payload atomically. The cache never reads it; Size is the
+	// accounting truth regardless of len(Body).
+	Body []byte
 }
 
 // Event describes why an entry left or entered the cache, for observers.
@@ -218,24 +225,6 @@ func MustNewCache(cfg Config) *Cache {
 	return c
 }
 
-// New creates a cache holding at most capacity bytes.
-//
-// Deprecated: use NewCache with Config.Capacity. New remains for callers
-// of the original positional signature; the positional capacity overrides
-// any Config.Capacity.
-func New(capacity int64, cfg Config) (*Cache, error) {
-	cfg.Capacity = capacity
-	return NewCache(cfg)
-}
-
-// MustNew is New, panicking on error.
-//
-// Deprecated: use MustNewCache with Config.Capacity.
-func MustNew(capacity int64, cfg Config) *Cache {
-	cfg.Capacity = capacity
-	return MustNewCache(cfg)
-}
-
 // Capacity returns the byte budget.
 func (c *Cache) Capacity() int64 { return c.capacity }
 
@@ -316,7 +305,11 @@ func (c *Cache) Get(key string) (Entry, bool) {
 		return Entry{}, false
 	}
 	nd := el.Value.(*node)
-	if c.mask != 0 {
+	if c.mask != 0 && nd.stamp != c.clock.Load() {
+		// Holding the newest stamp means this node is already the global
+		// MRU; re-touching it cannot change the merged order, so the
+		// atomic read-modify-write is skipped — the common case when one
+		// hot document absorbs a run of hits.
 		nd.stamp = c.tick()
 	}
 	s.ll.MoveToFront(el)
@@ -360,8 +353,9 @@ func (c *Cache) Touch(key string) bool {
 	if !ok {
 		return false
 	}
-	if c.mask != 0 {
-		el.Value.(*node).stamp = c.tick()
+	nd := el.Value.(*node)
+	if c.mask != 0 && nd.stamp != c.clock.Load() {
+		nd.stamp = c.tick() // see Get: global-MRU re-touches skip the RMW
 	}
 	s.ll.MoveToFront(el)
 	return true

@@ -8,16 +8,16 @@ import (
 )
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(0, Config{}); err != ErrBadCapacity {
+	if _, err := NewCache(Config{Capacity: 0}); err != ErrBadCapacity {
 		t.Fatalf("err = %v, want ErrBadCapacity", err)
 	}
-	if _, err := New(-5, Config{}); err != ErrBadCapacity {
+	if _, err := NewCache(Config{Capacity: -5}); err != ErrBadCapacity {
 		t.Fatalf("err = %v, want ErrBadCapacity", err)
 	}
 }
 
 func TestPutGet(t *testing.T) {
-	c := MustNew(1000, Config{})
+	c := MustNewCache(Config{Capacity: 1000})
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache returned a hit")
 	}
@@ -39,7 +39,7 @@ func TestPutGet(t *testing.T) {
 
 func TestLRUEvictionOrder(t *testing.T) {
 	var evicted []string
-	c := MustNew(300, Config{OnEvict: func(e Entry, ev Event) {
+	c := MustNewCache(Config{Capacity: 300, OnEvict: func(e Entry, ev Event) {
 		if ev == EvictCapacity {
 			evicted = append(evicted, e.Key)
 		}
@@ -58,7 +58,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 }
 
 func TestEvictionMultiple(t *testing.T) {
-	c := MustNew(250, Config{})
+	c := MustNewCache(Config{Capacity: 250})
 	for i := 0; i < 5; i++ {
 		c.Put(Entry{Key: fmt.Sprintf("k%d", i), Size: 50})
 	}
@@ -76,18 +76,18 @@ func TestEvictionMultiple(t *testing.T) {
 }
 
 func TestMaxObjectSize(t *testing.T) {
-	c := MustNew(10<<20, Config{}) // default 250 KB limit
+	c := MustNewCache(Config{Capacity: 10 << 20}) // default 250 KB limit
 	if c.Put(Entry{Key: "huge", Size: 251 * 1024}) {
 		t.Fatal("accepted document over the 250 KB paper limit")
 	}
 	if !c.Put(Entry{Key: "ok", Size: 250 * 1024}) {
 		t.Fatal("rejected document at the limit")
 	}
-	unlimited := MustNew(10<<20, Config{MaxObjectSize: -1})
+	unlimited := MustNewCache(Config{Capacity: 10 << 20, MaxObjectSize: -1})
 	if !unlimited.Put(Entry{Key: "huge", Size: 5 << 20}) {
 		t.Fatal("unlimited cache rejected large doc")
 	}
-	custom := MustNew(10<<20, Config{MaxObjectSize: 1000})
+	custom := MustNewCache(Config{Capacity: 10 << 20, MaxObjectSize: 1000})
 	if custom.Put(Entry{Key: "x", Size: 1001}) {
 		t.Fatal("custom limit not applied")
 	}
@@ -101,7 +101,8 @@ func TestMaxObjectSize(t *testing.T) {
 
 func TestUpdateSameKey(t *testing.T) {
 	var inserts, updates int
-	c := MustNew(1000, Config{
+	c := MustNewCache(Config{
+		Capacity: 1000,
 		OnInsert: func(Entry) { inserts++ },
 		OnEvict: func(_ Entry, ev Event) {
 			if ev == EvictUpdated {
@@ -129,7 +130,7 @@ func TestUpdateSameKey(t *testing.T) {
 }
 
 func TestTouch(t *testing.T) {
-	c := MustNew(200, Config{})
+	c := MustNewCache(Config{Capacity: 200})
 	c.Put(Entry{Key: "a", Size: 100})
 	c.Put(Entry{Key: "b", Size: 100})
 	if !c.Touch("a") {
@@ -150,7 +151,7 @@ func TestTouch(t *testing.T) {
 
 func TestRemove(t *testing.T) {
 	var removed []Event
-	c := MustNew(1000, Config{OnEvict: func(_ Entry, ev Event) { removed = append(removed, ev) }})
+	c := MustNewCache(Config{Capacity: 1000, OnEvict: func(_ Entry, ev Event) { removed = append(removed, ev) }})
 	c.Put(Entry{Key: "a", Size: 10})
 	if !c.Remove("a") {
 		t.Fatal("Remove missed present key")
@@ -167,7 +168,7 @@ func TestRemove(t *testing.T) {
 }
 
 func TestKeysOrder(t *testing.T) {
-	c := MustNew(1000, Config{})
+	c := MustNewCache(Config{Capacity: 1000})
 	c.Put(Entry{Key: "a", Size: 1})
 	c.Put(Entry{Key: "b", Size: 1})
 	c.Put(Entry{Key: "c", Size: 1})
@@ -184,7 +185,7 @@ func TestKeysOrder(t *testing.T) {
 
 func TestClear(t *testing.T) {
 	evictions := 0
-	c := MustNew(1000, Config{OnEvict: func(Entry, Event) { evictions++ }})
+	c := MustNewCache(Config{Capacity: 1000, OnEvict: func(Entry, Event) { evictions++ }})
 	c.Put(Entry{Key: "a", Size: 10})
 	c.Clear()
 	if c.Len() != 0 || c.Bytes() != 0 {
@@ -200,7 +201,7 @@ func TestClear(t *testing.T) {
 func TestQuickInvariants(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		c := MustNew(5000, Config{MaxObjectSize: -1})
+		c := MustNewCache(Config{Capacity: 5000, MaxObjectSize: -1})
 		for op := 0; op < 500; op++ {
 			k := fmt.Sprintf("k%d", rng.Intn(60))
 			switch rng.Intn(4) {
@@ -223,7 +224,7 @@ func TestQuickInvariants(t *testing.T) {
 				return false // duplicate key in list
 			}
 			seen[e.Key] = true
-			if got, ok := c.Peek(e.Key); !ok || got != e {
+			if got, ok := c.Peek(e.Key); !ok || got.Key != e.Key || got.Size != e.Size || got.Version != e.Version {
 				return false
 			}
 		}
@@ -239,7 +240,8 @@ func TestQuickInvariants(t *testing.T) {
 // summary consistent with the cache.
 func TestCallbackStreamMirrorsCache(t *testing.T) {
 	mirror := map[string]bool{}
-	c := MustNew(3000, Config{
+	c := MustNewCache(Config{
+		Capacity:      3000,
 		MaxObjectSize: -1,
 		OnInsert:      func(e Entry) { mirror[e.Key] = true },
 		OnEvict: func(e Entry, ev Event) {
@@ -269,7 +271,7 @@ func TestCallbackStreamMirrorsCache(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	c := MustNew(100000, Config{})
+	c := MustNewCache(Config{Capacity: 100000})
 	done := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		go func(g int) {
@@ -291,7 +293,7 @@ func TestConcurrentAccess(t *testing.T) {
 }
 
 func BenchmarkPutGet(b *testing.B) {
-	c := MustNew(1<<24, Config{})
+	c := MustNewCache(Config{Capacity: 1 << 24})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := fmt.Sprintf("k%d", i%10000)

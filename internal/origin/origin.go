@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -93,9 +94,10 @@ func (s *Server) Close() error { return s.srv.Close() }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	sizeStr, verStr := scanParams(r.URL.RawQuery)
 	size := s.cfg.DefaultSize
-	if v := r.URL.Query().Get(SizeParam); v != "" {
-		n, err := strconv.ParseInt(v, 10, 64)
+	if sizeStr != "" {
+		n, err := strconv.ParseInt(sizeStr, 10, 64)
 		if err != nil || n < 0 {
 			http.Error(w, "bad size", http.StatusBadRequest)
 			return
@@ -112,8 +114,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if v := r.URL.Query().Get(VersionParam); v != "" {
-		w.Header().Set(VersionHeader, v)
+	if verStr != "" {
+		w.Header().Set(VersionHeader, verStr)
 	}
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -125,14 +127,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.bytes.Add(uint64(written))
 }
 
-// writeBody streams size deterministic bytes without allocating the whole
-// body.
-func writeBody(w http.ResponseWriter, size int64) (int64, error) {
-	const chunkSize = 32 * 1024
-	var chunk [chunkSize]byte
+// scanParams extracts the size and v query parameters in one pass over the
+// raw query, replacing two full url.Values parses (and their per-request
+// map allocations) on the benchmark's hottest server path. DocURL emits
+// neither percent-escapes nor '+' in these values, and escaped forms of
+// the bare names do not occur, so raw comparison is exact here.
+func scanParams(rawQuery string) (size, version string) {
+	for len(rawQuery) > 0 {
+		pair := rawQuery
+		if i := strings.IndexByte(pair, '&'); i >= 0 {
+			pair, rawQuery = pair[:i], pair[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			continue
+		}
+		switch pair[:eq] {
+		case SizeParam:
+			size = pair[eq+1:]
+		case VersionParam:
+			version = pair[eq+1:]
+		}
+	}
+	return size, version
+}
+
+// bodyChunk is the pre-filled block writeBody streams from; filling it once
+// at startup instead of per call keeps the per-request work at the writes
+// themselves.
+var bodyChunk = func() [32 * 1024]byte {
+	var chunk [32 * 1024]byte
 	for i := range chunk {
 		chunk[i] = byte('a' + i%26)
 	}
+	return chunk
+}()
+
+// writeBody streams size deterministic bytes without allocating the whole
+// body.
+func writeBody(w http.ResponseWriter, size int64) (int64, error) {
+	const chunkSize = int64(len(bodyChunk))
+	chunk := &bodyChunk
 	var written int64
 	for written < size {
 		n := size - written
