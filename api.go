@@ -23,6 +23,7 @@ import (
 	"summarycache/internal/obs"
 	"summarycache/internal/origin"
 	"summarycache/internal/perfwatch"
+	"summarycache/internal/persist"
 	"summarycache/internal/sim"
 	"summarycache/internal/trace"
 	"summarycache/internal/tracegen"
@@ -187,6 +188,41 @@ func StartProxy(cfg ProxyConfig) (*Proxy, error) { return httpproxy.Start(cfg) }
 // ProxyPath is the proxy's explicit-form endpoint:
 // GET /__summarycache/proxy?url=<target>.
 const ProxyPath = httpproxy.ProxyPath
+
+// --- warm-restart persistence (internal/persist) ---
+
+// PersistConfig configures warm-restart persistence; set it on
+// ProxyConfig.Persist to make a proxy recover its cache, directory
+// filter, and peer replicas across restarts.
+type PersistConfig = persist.Config
+
+// PersistFsyncPolicy selects the journal durability policy.
+type PersistFsyncPolicy = persist.FsyncPolicy
+
+// The journal fsync policies: sync every append, sync on a background
+// interval (the default), or leave durability to the OS.
+const (
+	PersistFsyncAlways   = persist.FsyncAlways
+	PersistFsyncInterval = persist.FsyncInterval
+	PersistFsyncNever    = persist.FsyncNever
+)
+
+// ParsePersistFsyncPolicy parses a -persist-fsync style flag value
+// ("always", "interval", "never"; empty selects the default).
+func ParsePersistFsyncPolicy(s string) (PersistFsyncPolicy, error) {
+	return persist.ParseFsyncPolicy(s)
+}
+
+// PersistStats counts a persist store's checkpoint and journal activity.
+type PersistStats = persist.Stats
+
+// RecoveryStats describes what one warm-restart recovery found and how
+// it reconciled the snapshot with the journal (Proxy.Recovery).
+type RecoveryStats = persist.RecoveryStats
+
+// ReplicaState is one persisted peer summary replica — what snapshots
+// carry so a recovered node resumes with warm peer summaries.
+type ReplicaState = core.ReplicaState
 
 // CacheOnlyPath is the proxy's sibling-fetch endpoint, which never fetches
 // on a miss (so sibling fetches cannot recurse).

@@ -70,6 +70,14 @@ var (
 		"on SLO breach, capture a rate-limited ring of pprof profiles (5s CPU + heap/mutex/block), served at /debug/perf")
 	sloEvalSec = flag.Duration("slo-interval", 10*time.Second,
 		"SLO evaluation window length")
+	persistDir = flag.String("persist-dir", "",
+		"warm-restart persistence directory: the cache, directory filter and peer replicas are checkpointed there and recovered on the next start (empty: persistence off)")
+	persistFsync = flag.String("persist-fsync", "",
+		"journal fsync policy: always, interval, never (empty: interval)")
+	persistFsyncSec = flag.Duration("persist-fsync-interval", 0,
+		"background journal sync cadence under the interval policy (0: 1s)")
+	persistSnapSec = flag.Duration("persist-snapshot-interval", 30*time.Second,
+		"periodic checkpoint cadence (0: only the boot and shutdown checkpoints)")
 	peers peerList
 )
 
@@ -192,6 +200,19 @@ func run() error {
 		}
 		tracer = sc.NewTracer(cfg)
 	}
+	var persistCfg *sc.PersistConfig
+	if *persistDir != "" {
+		policy, err := sc.ParsePersistFsyncPolicy(*persistFsync)
+		if err != nil {
+			return err
+		}
+		persistCfg = &sc.PersistConfig{
+			Dir:              *persistDir,
+			Fsync:            policy,
+			FsyncInterval:    *persistFsyncSec,
+			SnapshotInterval: *persistSnapSec,
+		}
+	}
 	cacheBytes := *cacheMB << 20
 	p, err := sc.StartProxy(sc.ProxyConfig{
 		ListenAddr: *httpAddr,
@@ -204,6 +225,7 @@ func run() error {
 			UpdateThreshold: *threshold,
 		},
 		ParentURL: *parentURL,
+		Persist:   persistCfg,
 		Metrics:   reg,
 		Logger:    log,
 		Tracer:    tracer,
@@ -222,6 +244,12 @@ func run() error {
 	attrs := []any{"mode", m.String(), "http", p.URL()}
 	if m != sc.ProxyModeNone {
 		attrs = append(attrs, "icp", p.ICPAddr().String())
+	}
+	if rec := p.Recovery(); rec.Recovered {
+		log.Info("warm restart: recovered persisted state",
+			"dir", *persistDir, "snapshot_gen", rec.SnapshotGen,
+			"entries", rec.Entries, "journal_records", rec.JournalRecords,
+			"torn_tail", rec.TornTail)
 	}
 	log.Info("proxy up", attrs...)
 

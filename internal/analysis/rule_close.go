@@ -12,9 +12,17 @@ import (
 // deliberate); silently losing it hides failed resource teardown — the
 // class of bug behind half-flushed journals and leaked sockets.
 //
-// Deliberately exempt:
-//   - defer f.Close() — at unwind time there is no error path left, and
-//     the idiom is ubiquitous; flagging it would bury real findings;
+// Deferred calls split by method: defer f.Close() stays exempt — at
+// unwind time there is no error path left, and the idiom is ubiquitous;
+// flagging it would bury real findings. But defer f.Flush() and defer
+// f.Sync() ARE flagged: those calls exist to make buffered or persisted
+// data durable, and deferring them discards the one signal that the
+// write-back failed — a half-flushed snapshot or journal then reads as
+// torn at the next recovery with no error ever surfaced. Flush/Sync
+// belong on the explicit error path; only the last-resort Close belongs
+// in a defer.
+//
+// Also deliberately exempt:
 //   - _ = f.Close() — the drop is explicit and greppable;
 //   - main packages (cmd/, examples/) — process exit is the handler;
 //   - methods whose signature returns no error (csv.Writer.Flush).
@@ -23,7 +31,7 @@ type uncheckedCloseRule struct{}
 func (uncheckedCloseRule) Name() string { return RuleUncheckedClose }
 
 func (uncheckedCloseRule) Doc() string {
-	return "non-deferred Close/Flush/Sync calls in library code must not silently discard their error"
+	return "non-deferred Close/Flush/Sync calls in library code must not silently discard their error (and Flush/Sync must not hide in a defer)"
 }
 
 var closeLikeNames = map[string]bool{"Close": true, "Flush": true, "Sync": true}
@@ -43,22 +51,37 @@ func (uncheckedCloseRule) Check(pkg *Package, report ReportFunc) {
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			// Only bare call *statements* discard results; defer/go are
-			// distinct statement kinds and fall outside this match.
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			var call *ast.CallExpr
+			deferred := false
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				// A bare call *statement* discards results (go statements
+				// are a distinct kind and fall outside this match).
+				call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				// Deferred Flush/Sync lose the durability error at unwind
+				// time; only Close is exempt there.
+				call = stmt.Call
+				deferred = true
 			}
-			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-			if !ok {
+			if call == nil {
 				return true
 			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 			if !ok || !closeLikeNames[sel.Sel.Name] {
 				return true
 			}
+			if deferred && sel.Sel.Name == "Close" {
+				return true
+			}
 			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
 			if !ok || !returnsError(fn) {
+				return true
+			}
+			if deferred {
+				report(call.Pos(),
+					"deferred %s.%s discards its durability error; call it on the error path (only Close belongs in a defer)",
+					types.ExprString(sel.X), sel.Sel.Name)
 				return true
 			}
 			report(call.Pos(),

@@ -13,13 +13,14 @@ func (flusher) Flush() {}
 
 func fine() error {
 	var h handle
-	defer h.Close() // deferred: distinct statement kind, exempt by design
+	defer h.Close() // deferred Close: no error path left at unwind, exempt
 	_ = h.Close()   // explicit drop: the author made a decision
 	if err := h.Close(); err != nil {
 		return err
 	}
 	var f flusher
-	f.Flush() // no error result: nothing to check
+	f.Flush()       // no error result: nothing to check
+	defer f.Flush() // no error result: deferring cannot lose one either
 	return nil
 }
 

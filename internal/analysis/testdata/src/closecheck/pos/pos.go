@@ -1,5 +1,6 @@
 // Package pos is the unchecked-close positive fixture: error-returning
-// Close/Flush/Sync calls whose results are silently dropped.
+// Close/Flush/Sync calls whose results are silently dropped, including
+// the deferred Flush/Sync forms that hide durability errors.
 package pos
 
 type handle struct{}
@@ -13,4 +14,10 @@ func leak() {
 	h.Close() // want unchecked-close
 	h.Flush() // want unchecked-close
 	h.Sync()  // want unchecked-close
+}
+
+func deferredDurability() {
+	var h handle
+	defer h.Flush() // want unchecked-close
+	defer h.Sync()  // want unchecked-close
 }

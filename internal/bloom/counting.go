@@ -57,6 +57,7 @@ type CountingFilter struct {
 	scratch  sync.Pool // *[]uint64 probe buffers
 
 	saturations atomic.Uint64 // counters that ever hit cmax
+	underflows  atomic.Uint64 // decrement attempts on a zero counter
 
 	journaling bool         // set once by EnableJournal before concurrent use
 	pending    atomic.Int64 // total flips across stripe journals
@@ -248,7 +249,12 @@ func (c *CountingFilter) Remove(key string, flips []Flip) []Flip {
 		case v > 1:
 			c.setLocked(i, v-1)
 		default:
-			// v == 0: underflow attempt; leave at zero.
+			// v == 0: underflow attempt. Saturate at zero — wrapping to
+			// cmax would assert membership for up to perWord unrelated
+			// keys. Crash recovery hits this legitimately: the journal
+			// overlap window can double-apply an eviction (restore +
+			// replay), and the second decrement must be a counted no-op.
+			c.underflows.Add(1)
 		}
 		st.mu.Unlock()
 	}
@@ -311,6 +317,13 @@ func (c *CountingFilter) FillRatio() float64 {
 // counter — a direct observable for the §V-C overflow analysis.
 func (c *CountingFilter) Saturations() uint64 { return c.saturations.Load() }
 
+// Underflows returns how many decrement attempts found a zero counter and
+// were saturated at zero instead of wrapping. Steady-state operation keeps
+// this at 0 (the cache guarantees delete-after-insert discipline); crash
+// recovery may raise it when the journal's overlap window double-applies
+// an eviction.
+func (c *CountingFilter) Underflows() uint64 { return c.underflows.Load() }
+
 // BitFilter materializes the derived plain filter (bit i set iff counter i
 // nonzero). This is the array a proxy ships to a new neighbor before delta
 // updates begin. Under concurrent writers the result is a weakly consistent
@@ -341,6 +354,7 @@ func (c *CountingFilter) Reset() {
 	c.ones.Store(0)
 	c.n.Store(0)
 	c.saturations.Store(0)
+	c.underflows.Store(0)
 	for s := len(c.stripes) - 1; s >= 0; s-- {
 		c.stripes[s].mu.Unlock()
 	}

@@ -1,0 +1,104 @@
+package bloom
+
+import (
+	"testing"
+
+	"summarycache/internal/hashing"
+)
+
+// TestCountingStateRoundTrip pins the snapshot/restore invariant: a
+// restored filter answers every membership query, counter read, and
+// accounting stat exactly like the captured one — including saturation
+// state, which cannot be rebuilt from keys.
+func TestCountingStateRoundTrip(t *testing.T) {
+	spec := hashing.DefaultSpec
+	src := MustNewCountingFilter(1024, 4, spec)
+	keys := []string{"a", "b", "c", "d", "e"}
+	for _, k := range keys {
+		src.Add(k, nil)
+	}
+	// Saturate one position by re-adding a key many times.
+	for i := 0; i < 20; i++ {
+		src.Add("hot", nil)
+	}
+	src.Remove("e", nil)
+
+	blob := src.StateSnapshot()
+	dst := MustNewCountingFilter(1024, 4, spec)
+	if err := dst.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range append(keys[:4], "hot") {
+		if !dst.Test(k) {
+			t.Fatalf("restored filter lost %q", k)
+		}
+	}
+	if dst.Entries() != src.Entries() {
+		t.Fatalf("entries %d != %d", dst.Entries(), src.Entries())
+	}
+	if dst.OnesCount() != src.OnesCount() {
+		t.Fatalf("ones %d != %d", dst.OnesCount(), src.OnesCount())
+	}
+	if dst.Saturations() != src.Saturations() {
+		t.Fatalf("saturations %d != %d", dst.Saturations(), src.Saturations())
+	}
+	for i := uint64(0); i < src.Size(); i++ {
+		a, _ := src.Count(i)
+		b, _ := dst.Count(i)
+		if a != b {
+			t.Fatalf("counter %d: %d != %d", i, a, b)
+		}
+	}
+	if string(dst.BitFilter().Snapshot()) != string(src.BitFilter().Snapshot()) {
+		t.Fatal("derived bit filters differ")
+	}
+}
+
+// TestCountingStateGeometryMismatch: a blob from a differently shaped
+// filter must be refused, not half-applied.
+func TestCountingStateGeometryMismatch(t *testing.T) {
+	spec := hashing.DefaultSpec
+	blob := MustNewCountingFilter(1024, 4, spec).StateSnapshot()
+	cases := []*CountingFilter{
+		MustNewCountingFilter(2048, 4, spec),
+		MustNewCountingFilter(1024, 8, spec),
+		MustNewCountingFilter(1024, 4, hashing.Spec{FunctionNum: 2, FunctionBits: 32}),
+	}
+	for i, dst := range cases {
+		if err := dst.RestoreState(blob); err == nil {
+			t.Fatalf("case %d: geometry mismatch accepted", i)
+		}
+	}
+	dst := MustNewCountingFilter(1024, 4, spec)
+	if err := dst.RestoreState(blob[:8]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := dst.RestoreState([]byte("nope")); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+}
+
+// TestRemoveUnderflowSaturates pins the underflow guard: decrementing a
+// counter already at zero is a counted no-op, never a wrap to cmax that
+// would assert membership for unrelated keys. The double-eviction here
+// models the restore + journal overlap window of crash recovery.
+func TestRemoveUnderflowSaturates(t *testing.T) {
+	c := MustNewCountingFilter(256, 4, hashing.DefaultSpec)
+	c.Add("doc", nil)
+	c.Remove("doc", nil)
+	if got := c.Underflows(); got != 0 {
+		t.Fatalf("clean add/remove recorded %d underflows", got)
+	}
+	c.Remove("doc", nil) // double-applied eviction
+	if got := c.Underflows(); got == 0 {
+		t.Fatal("double eviction recorded no underflows")
+	}
+	if c.Test("doc") {
+		t.Fatal("underflow wrapped a counter: phantom membership")
+	}
+	for i := uint64(0); i < c.Size(); i++ {
+		if v, _ := c.Count(i); v != 0 {
+			t.Fatalf("counter %d nonzero (%d) after underflow", i, v)
+		}
+	}
+}

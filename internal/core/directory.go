@@ -164,6 +164,35 @@ func (d *Directory) FilterSnapshot() []byte {
 	return d.counting.BitFilter().Snapshot()
 }
 
+// StateSnapshot serializes the directory's counting filter (counter
+// words, entry count, saturation state) for warm-restart persistence.
+// Under concurrent writers the capture is weakly consistent; journal
+// replay and the protocol's tolerance of summary slop absorb the skew.
+func (d *Directory) StateSnapshot() []byte {
+	return d.counting.StateSnapshot()
+}
+
+// RestoreState loads a StateSnapshot blob taken by a previous run,
+// replacing the directory's contents. The blob's filter geometry must
+// match this directory's configuration (bloom.ErrStateMismatch
+// otherwise — the caller then rebuilds by re-inserting the restored
+// keys instead). The document count is restored from the filter's entry
+// accounting; the publication journal restarts empty, as a recovered
+// node re-announces full state anyway.
+func (d *Directory) RestoreState(data []byte) error {
+	if err := d.counting.RestoreState(data); err != nil {
+		return err
+	}
+	d.docs.Store(int64(d.counting.Entries()))
+	d.newDocs.Store(0)
+	return nil
+}
+
+// Underflows reports decrement attempts that found a zero counter (see
+// bloom.CountingFilter.Underflows) — nonzero only when crash recovery
+// double-applied an eviction in the journal's overlap window.
+func (d *Directory) Underflows() uint64 { return d.counting.Underflows() }
+
 // SnapshotFlips returns the full current state as set-bit flips — what a
 // newly joined or recovered peer needs after resetting its replica
 // ("reinitializes a failed neighbor's bit array when it recovers"). The

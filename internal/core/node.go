@@ -152,6 +152,7 @@ type NodeStats struct {
 	UpdateFullBytes  uint64 // advertised bytes in full-state shipments
 	UpdateDeltaBytes uint64 // advertised bytes in delta publications
 	FilterRebuilds   uint64 // peer replicas created, re-created or reset
+	Recoveries       uint64 // warm-restart recoveries applied to this node
 	// QueryRTTSeconds summarizes the Lookup ICP fan-out round-trip-time
 	// histogram (summarycache_node_query_rtt_seconds).
 	QueryRTTSeconds obs.HistogramSnapshot
@@ -171,6 +172,7 @@ type nodeMetrics struct {
 	flipsCoalesced                    *obs.Counter
 	updateFullBytes, updateDeltaBytes *obs.Counter
 	filterRebuilds                    *obs.Counter
+	recoveries                        *obs.Counter
 	queryRTT                          *obs.Histogram
 }
 
@@ -204,6 +206,8 @@ func newNodeMetrics(reg *obs.Registry, labels obs.Labels) nodeMetrics {
 			"advertised DIRUPDATE bytes in delta publications", labels),
 		filterRebuilds: reg.Counter("summarycache_node_filter_rebuilds_total",
 			"peer summary replicas created, re-created or reset", labels),
+		recoveries: reg.Counter("summarycache_node_recoveries_total",
+			"warm-restart recoveries applied (directory and replicas restored from disk)", labels),
 		queryRTT: reg.Histogram("summarycache_node_query_rtt_seconds",
 			"round-trip time of Lookup's ICP query fan-out", labels, nil),
 	}
@@ -548,6 +552,7 @@ func (n *Node) Stats() NodeStats {
 		UpdateFullBytes:  n.metrics.updateFullBytes.Value(),
 		UpdateDeltaBytes: n.metrics.updateDeltaBytes.Value(),
 		FilterRebuilds:   n.metrics.filterRebuilds.Value(),
+		Recoveries:       n.metrics.recoveries.Value(),
 		QueryRTTSeconds:  n.metrics.queryRTT.Snapshot(),
 		UDP:              n.conn.Stats(),
 	}
@@ -601,6 +606,18 @@ func (n *Node) ResyncPeers() error {
 		}
 	}
 	return firstErr
+}
+
+// NoteRecovery records that this node's directory and peer replicas were
+// restored from a warm-restart snapshot (summarycache_node_recoveries_total
+// and the event log). The proxy layer calls it once after applying a
+// recovered state, before the reset-flagged full DIRUPDATE re-announce.
+func (n *Node) NoteRecovery(entries, replicas int) {
+	n.metrics.recoveries.Inc()
+	if n.log != nil {
+		n.log.Info("node recovered from snapshot",
+			"entries", entries, "replicas", replicas)
+	}
 }
 
 // RemovePeer forgets a neighbor and its summary. Every peer-labeled
@@ -899,9 +916,11 @@ func (n *Node) sendUpdate(addr *net.UDPAddr, m icp.Message) error {
 
 // sendUpdateAsync is sendUpdate for delta publications: UDP peers get the
 // message through the endpoint's batched send ring (the publication loop
-// never blocks on per-datagram syscalls; reordering is safe because flips
-// are absolute records). TCP peers keep the synchronous framed channel,
-// which already preserves order.
+// rarely blocks on per-datagram syscalls; a full ring applies
+// back-pressure instead of sending in-line, so the ring preserves FIFO
+// order — absolute flip records must be applied last-write-wins per bit).
+// TCP peers keep the synchronous framed channel, which already preserves
+// order.
 func (n *Node) sendUpdateAsync(addr *net.UDPAddr, m icp.Message) error {
 	n.tcpMu.Lock()
 	cli := n.tcpPeers[addr.String()]

@@ -310,6 +310,78 @@ func (pt *PeerTable) ReplicaSnapshot(peer string) ([]byte, bool) {
 	return ps.filter.Snapshot(), true
 }
 
+// ReplicaState is one peer replica serialized for warm-restart
+// persistence: enough to rebuild the peerSummary so a restarted proxy
+// resumes nominating peers immediately instead of treating every
+// neighbor as unknown until its next full update.
+type ReplicaState struct {
+	Peer       string       // peer identifier (UDP address string)
+	Spec       hashing.Spec // replica hash family
+	Bits       uint64       // replica bit-array size
+	Generation uint64       // applied-update count (decision-audit generation)
+	Filter     []byte       // bit array, bloom.Filter.Snapshot layout
+}
+
+// ExportReplicas serializes every initialized peer replica, sorted by
+// peer id.
+func (pt *PeerTable) ExportReplicas() []ReplicaState {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	out := make([]ReplicaState, 0, len(pt.peers))
+	for id, ps := range pt.peers {
+		out = append(out, ReplicaState{
+			Peer:       id,
+			Spec:       ps.spec,
+			Bits:       ps.filter.Size(),
+			Generation: ps.updates,
+			Filter:     ps.filter.Snapshot(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// RestoreReplica installs a persisted replica for st.Peer, replacing any
+// existing one. The restored replica may be stale — the peer kept
+// publishing while this node was down — but a stale replica only costs
+// the usual false hits/misses the protocol already tolerates, and the
+// next full or delta update repairs it. The rebuild observer fires with
+// reason "restored".
+func (pt *PeerTable) RestoreReplica(st ReplicaState) error {
+	if err := st.Spec.Validate(); err != nil {
+		return fmt.Errorf("core: restore replica %s: %w", st.Peer, err)
+	}
+	f, err := bloom.NewFilter(st.Bits, st.Spec)
+	if err != nil {
+		return fmt.Errorf("core: restore replica %s: %w", st.Peer, err)
+	}
+	if err := f.LoadSnapshot(st.Filter); err != nil {
+		return fmt.Errorf("core: restore replica %s: %w", st.Peer, err)
+	}
+	pt.mu.Lock()
+	ps := &peerSummary{
+		filter:  f,
+		spec:    st.Spec,
+		updates: st.Generation,
+		changed: time.Now(),
+	}
+	if prev := pt.peers[st.Peer]; prev != nil {
+		ps.fullUpdates = prev.fullUpdates
+		ps.deltaUpdates = prev.deltaUpdates
+		ps.bytesIn = prev.bytesIn
+		ps.flipsApplied = prev.flipsApplied
+		ps.rebuilds = prev.rebuilds
+	}
+	ps.rebuilds++
+	pt.peers[st.Peer] = ps
+	fn := pt.onRebuild
+	pt.mu.Unlock()
+	if fn != nil {
+		fn(st.Peer, "restored")
+	}
+	return nil
+}
+
 // Updates returns how many update messages have been applied for peer.
 func (pt *PeerTable) Updates(peer string) uint64 {
 	pt.mu.RLock()

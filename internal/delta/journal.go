@@ -1,0 +1,146 @@
+package delta
+
+// The persistence journal's record codec and the length+CRC frame format
+// shared by the warm-restart snapshot and journal files (internal/
+// persist). The journal is the on-disk analog of the counting filter's
+// in-memory flip journal: each cache mutation appends one O(record)
+// framed entry, so hot-path writes never serialize the whole filter.
+//
+// Frame layout (little-endian):
+//
+//	uint32 payload length
+//	uint32 CRC-32C (Castagnoli) of the payload
+//	payload bytes
+//
+// A reader walks frames until the buffer ends cleanly, ends mid-frame
+// (ErrTornFrame — the tolerated crash tail), or hits a CRC/length
+// violation (ErrCorruptFrame). Both error kinds end the valid prefix;
+// replay uses everything before them.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// frameHeaderLen is the fixed per-frame overhead: length + CRC.
+const frameHeaderLen = 8
+
+// MaxFrameLen bounds a single frame's payload (64 MB body + record
+// overhead headroom); anything larger is treated as corruption rather
+// than trusted as an allocation size.
+const MaxFrameLen = 80 << 20
+
+// ErrTornFrame reports a buffer that ends mid-frame — the expected shape
+// of the final frame after a crash, tolerated by replay.
+var ErrTornFrame = errors.New("delta: torn frame at end of buffer")
+
+// ErrCorruptFrame reports a frame whose length is implausible or whose
+// payload fails its CRC.
+var ErrCorruptFrame = errors.New("delta: corrupt frame")
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one length+CRC framed payload to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// NextFrame parses the first frame of b, returning its payload and the
+// remaining bytes. An empty b returns (nil, nil, nil): the clean end of
+// the stream. The returned payload aliases b.
+func NextFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) == 0 {
+		return nil, nil, nil
+	}
+	if len(b) < frameHeaderLen {
+		return nil, b, ErrTornFrame
+	}
+	n := binary.LittleEndian.Uint32(b)
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if n > MaxFrameLen {
+		return nil, b, fmt.Errorf("%w: frame length %d", ErrCorruptFrame, n)
+	}
+	if uint32(len(b)-frameHeaderLen) < n {
+		return nil, b, ErrTornFrame
+	}
+	payload = b[frameHeaderLen : frameHeaderLen+int(n)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, b, fmt.Errorf("%w: CRC mismatch", ErrCorruptFrame)
+	}
+	return payload, b[frameHeaderLen+int(n):], nil
+}
+
+// Journal record opcodes.
+const (
+	// JournalInsert records a document entering the cache (or changing
+	// version in place). Replay treats an insert whose key already exists
+	// at the same version as confirmation; at a different version the
+	// snapshot body is stale and the entry is dropped for refetch.
+	JournalInsert byte = 1
+	// JournalEvict records a document leaving the cache. Replay of an
+	// eviction for an absent key is a counted no-op (the overlap window
+	// between journal rotation and snapshot capture can double-record).
+	JournalEvict byte = 2
+)
+
+// JournalRecord is one cache mutation in the persistence journal.
+type JournalRecord struct {
+	Op      byte
+	Key     string
+	Size    int64 // body size (JournalInsert only)
+	Version int64 // document version (JournalInsert only)
+}
+
+// AppendJournalRecord appends r to dst as one framed record.
+func AppendJournalRecord(dst []byte, r JournalRecord) []byte {
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+binary.MaxVarintLen32+len(r.Key))
+	payload = append(payload, r.Op)
+	payload = binary.AppendUvarint(payload, uint64(len(r.Key)))
+	payload = append(payload, r.Key...)
+	payload = binary.AppendVarint(payload, r.Size)
+	payload = binary.AppendVarint(payload, r.Version)
+	return AppendFrame(dst, payload)
+}
+
+// DecodeJournalRecord parses one record payload (the frame's contents,
+// CRC already verified by NextFrame).
+func DecodeJournalRecord(payload []byte) (JournalRecord, error) {
+	var r JournalRecord
+	if len(payload) < 1 {
+		return r, fmt.Errorf("%w: empty journal record", ErrCorruptFrame)
+	}
+	r.Op = payload[0]
+	if r.Op != JournalInsert && r.Op != JournalEvict {
+		return r, fmt.Errorf("%w: unknown journal op %d", ErrCorruptFrame, r.Op)
+	}
+	rest := payload[1:]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < klen {
+		return r, fmt.Errorf("%w: journal key length", ErrCorruptFrame)
+	}
+	rest = rest[n:]
+	r.Key = string(rest[:klen])
+	rest = rest[klen:]
+	var ok bool
+	if r.Size, rest, ok = takeVarint(rest); !ok {
+		return r, fmt.Errorf("%w: journal size", ErrCorruptFrame)
+	}
+	if r.Version, _, ok = takeVarint(rest); !ok {
+		return r, fmt.Errorf("%w: journal version", ErrCorruptFrame)
+	}
+	return r, nil
+}
+
+// takeVarint reads one signed varint off the front of b.
+func takeVarint(b []byte) (v int64, rest []byte, ok bool) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}

@@ -1,0 +1,83 @@
+package delta
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestJournalRecordRoundTrip walks a framed record stream back out
+// byte-exactly.
+func TestJournalRecordRoundTrip(t *testing.T) {
+	recs := []JournalRecord{
+		{Op: JournalInsert, Key: "http://a/1", Size: 2048, Version: 7},
+		{Op: JournalEvict, Key: "http://a/1"},
+		{Op: JournalInsert, Key: "", Size: 0, Version: -3},
+		{Op: JournalInsert, Key: "k", Size: 1 << 40, Version: 1},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendJournalRecord(buf, r)
+	}
+	var got []JournalRecord
+	for len(buf) > 0 {
+		payload, rest, err := NextFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := DecodeJournalRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+		buf = rest
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestNextFrameTornTail: a stream cut mid-frame yields every complete
+// frame then ErrTornFrame — the crash-recovery contract.
+func TestNextFrameTornTail(t *testing.T) {
+	var buf []byte
+	buf = AppendJournalRecord(buf, JournalRecord{Op: JournalInsert, Key: "a", Size: 1, Version: 1})
+	whole := len(buf)
+	buf = AppendJournalRecord(buf, JournalRecord{Op: JournalEvict, Key: "a"})
+	for cut := whole + 1; cut < len(buf); cut++ {
+		b := buf[:cut]
+		payload, rest, err := NextFrame(b)
+		if err != nil {
+			t.Fatalf("cut %d: first frame should survive: %v", cut, err)
+		}
+		if _, err := DecodeJournalRecord(payload); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if _, _, err := NextFrame(rest); !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("cut %d: want ErrTornFrame, got %v", cut, err)
+		}
+	}
+}
+
+// TestNextFrameCorruption: flipped payload bytes and absurd lengths are
+// ErrCorruptFrame, ending the valid prefix.
+func TestNextFrameCorruption(t *testing.T) {
+	buf := AppendJournalRecord(nil, JournalRecord{Op: JournalInsert, Key: "abc", Size: 9, Version: 2})
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, err := NextFrame(bad); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("payload flip: want ErrCorruptFrame, got %v", err)
+	}
+	huge := append([]byte(nil), buf...)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, err := NextFrame(huge); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("huge length: want ErrCorruptFrame, got %v", err)
+	}
+	if payload, rest, err := NextFrame(nil); payload != nil || rest != nil || err != nil {
+		t.Fatal("empty buffer is a clean end, not an error")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"summarycache/internal/meshhealth"
 	"summarycache/internal/obs"
 	"summarycache/internal/perfwatch"
+	"summarycache/internal/persist"
 	"summarycache/internal/tracing"
 )
 
@@ -216,6 +217,14 @@ type Config struct {
 	// Metrics) or each proxy may own one. Nil: tracing disabled; the
 	// local-hit hot path performs no extra allocation.
 	Tracer *tracing.Tracer
+	// Persist, when set, enables warm restarts: the document cache, the
+	// local directory filter, and the peer summary replicas are
+	// checkpointed to Persist.Dir (every Persist.SnapshotInterval, and
+	// once more on a clean Close), with cache mutations journaled between
+	// checkpoints. A proxy restarted on the same directory recovers its
+	// state before serving — see Recovery for what the boot found. Nil:
+	// persistence disabled, the seed's memory-only behavior.
+	Persist *persist.Config
 	// Perf, when set, receives the sub-span stage timings only this layer
 	// can see — document-cache get/insert and the SC-ICP node's DIRUPDATE
 	// encode/apply and per-reply RTT — completing the per-stage latency
@@ -355,6 +364,13 @@ type Proxy struct {
 	health    *obs.Health            // non-node modes; ModeSCICP delegates to the node
 	tracer    *tracing.Tracer        // nil: tracing disabled
 	decisions *meshhealth.Accounting // per-peer decision taxonomy
+
+	// Warm-restart persistence (nil store: disabled).
+	store       *persist.Store
+	recovery    persist.RecoveryStats
+	snapStop    chan struct{} // nil: no periodic snapshot loop
+	snapDone    chan struct{}
+	persistOnce sync.Once // shutdownPersist runs at most once
 }
 
 // resolveDuration applies the 0=default / negative=disabled convention.
@@ -528,6 +544,15 @@ func Start(cfg Config) (*Proxy, error) {
 		p.health = obs.NewHealth()
 	}
 
+	// Persistence comes after the protocol endpoint exists (recovery
+	// reinstalls directory and replica state into the node) and before the
+	// listener serves (the first client request must see the warm cache).
+	if err := p.startPersistence(reg, labels); err != nil {
+		_ = ln.Close()
+		_ = p.closeProtocol()
+		return nil, err
+	}
+
 	// The listener is hardened against slow-header clients and idle
 	// connection buildup; both bounds are configurable, neither can be
 	// accidentally unbounded.
@@ -636,11 +661,33 @@ func (p *Proxy) closeProtocol() error {
 
 // Close shuts the proxy down. Both the HTTP listener and the protocol
 // endpoint are torn down regardless of errors; the first failure is
-// reported.
+// reported. With persistence enabled, a final checkpoint captures the
+// complete state so the next boot replays no journal.
 func (p *Proxy) Close() error {
 	err := p.srv.Close()
 	if perr := p.closeProtocol(); err == nil {
 		err = perr
+	}
+	if serr := p.shutdownPersist(true); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// CloseAbrupt tears the proxy down without the final checkpoint — the
+// crash persistence is built for, usable in-process where a real kill -9
+// is not. Whatever the journal holds at this instant is exactly what a
+// killed process would leave behind (a kill preserves the page cache, so
+// unsynced appends survive it just as they survive this). The next Start
+// on the same persist directory must recover by snapshot-plus-journal
+// replay.
+func (p *Proxy) CloseAbrupt() error {
+	err := p.srv.Close()
+	if perr := p.closeProtocol(); err == nil {
+		err = perr
+	}
+	if serr := p.shutdownPersist(false); err == nil {
+		err = serr
 	}
 	return err
 }
@@ -862,6 +909,10 @@ func (p *Proxy) MeshReport() meshhealth.Report {
 	rep.Local.CacheEntries = p.cache.Len()
 	rep.Local.CacheBytes = p.cache.Bytes()
 	rep.Local.LastAdvertAgeMS = -1
+	if p.recovery.Recovered {
+		rep.Local.Recoveries = 1 // refined from node accounting below
+		rep.Local.RecoveredEntries = p.recovery.Entries
+	}
 	var replicas map[string]core.PeerHealth
 	if p.node != nil {
 		st := p.node.Stats()
@@ -869,6 +920,7 @@ func (p *Proxy) MeshReport() meshhealth.Report {
 		rep.Local.PendingFlips = p.node.Directory().PendingFlips()
 		rep.Local.UpdatesSent = st.UpdatesSent
 		rep.Local.UpdateEvents = st.UpdateEvents
+		rep.Local.Recoveries = st.Recoveries
 		rep.Local.FullBytesOut = st.UpdateFullBytes
 		rep.Local.DeltaBytesOut = st.UpdateDeltaBytes
 		if age, ok := p.node.LastAdvertAge(); ok {
@@ -934,10 +986,17 @@ func (p *Proxy) onInsert(e lru.Entry) {
 
 func (p *Proxy) onEvict(e lru.Entry, ev lru.Event) {
 	if ev == lru.EvictUpdated {
+		// The superseding insert journals the new version; at replay the
+		// version mismatch retires the old body without an evict record.
 		return
 	}
 	if p.node != nil {
 		p.node.HandleEvict(e.Key)
+	}
+	if p.store != nil {
+		// A failed append is counted (JournalErrors) and degrades recovery
+		// fidelity, never service.
+		_ = p.store.AppendEvict(e.Key)
 	}
 }
 
@@ -953,7 +1012,13 @@ func (p *Proxy) storeBody(key string, version int64, body []byte) {
 	// The payload rides the entry itself, so entry and body are stored —
 	// and later evicted — atomically. An uncacheable document (too large)
 	// is refused by Put and simply dropped.
-	p.cache.Put(lru.Entry{Key: key, Size: int64(len(body)), Version: version, Body: body})
+	stored := p.cache.Put(lru.Entry{Key: key, Size: int64(len(body)), Version: version, Body: body})
+	if stored && p.store != nil {
+		// Journaled after the Put so recovery never claims a document the
+		// cache refused; the body itself lives only in snapshots (an insert
+		// newer than the last checkpoint replays as a counted lost insert).
+		_ = p.store.AppendInsert(key, int64(len(body)), version)
+	}
 }
 
 // --- ICP handling (ModeICP) ---
@@ -1372,11 +1437,42 @@ func (p *Proxy) fetchPeerOnce(ctx context.Context, base, target string) (body []
 // when the server declared one — one exact allocation instead of
 // io.ReadAll's grow-and-copy doublings. A body shorter than declared
 // surfaces as io.ReadFull's unexpected-EOF error, the same truncation
-// signal io.ReadAll's callers already classify as retryable.
+// signal io.ReadAll's callers already classify as retryable. The cap
+// applies identically to declared and unknown-length (chunked / -1)
+// bodies: anything past it is an error, never a silently truncated body
+// that would be cached or forwarded as complete.
 func readBody(resp *http.Response) ([]byte, error) {
+	return readBodyLimit(resp, maxDeclaredBody)
+}
+
+// errBodyTooLarge marks a response whose body exceeds the cache's body
+// cap. Callers classify it as transient (retryable / fall back to the
+// origin), exactly like a truncated read: in both cases the proxy does
+// not hold a complete document it could serve or cache.
+var errBodyTooLarge = errors.New("httpproxy: response body exceeds cap")
+
+// readBodyLimit is readBody with the cap as a parameter, so tests can
+// exercise the over-cap paths without materializing 64 MB bodies.
+func readBodyLimit(resp *http.Response, limit int64) ([]byte, error) {
 	n := resp.ContentLength
-	if n < 0 || n > maxDeclaredBody {
-		return io.ReadAll(resp.Body)
+	if n > limit {
+		// Don't read what we will refuse to serve: fail before burning
+		// bandwidth on a body the cache would have to throw away.
+		return nil, fmt.Errorf("%w: declared %d > %d", errBodyTooLarge, n, limit)
+	}
+	if n < 0 {
+		// Unknown length (chunked or close-delimited): read through a
+		// limit one byte past the cap so overflow is detectable, and
+		// refuse the body rather than passing a truncated prefix off as
+		// the complete document.
+		body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(body)) > limit {
+			return nil, fmt.Errorf("%w: unknown length exceeds %d", errBodyTooLarge, limit)
+		}
+		return body, nil
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(resp.Body, body); err != nil {
@@ -1387,9 +1483,10 @@ func readBody(resp *http.Response) ([]byte, error) {
 	return body, nil
 }
 
-// maxDeclaredBody caps how much readBody preallocates on the server's word
-// alone; anything larger falls back to incremental reading rather than
-// trusting a hostile header with a huge allocation.
+// maxDeclaredBody caps the size of any cached or relayed document body.
+// Declared lengths above it fail fast without reading; unknown-length
+// bodies are read up to the cap and fail if they exceed it — the header
+// of a hostile server never sizes an allocation past this bound.
 const maxDeclaredBody = 64 << 20
 
 // fetchOrigin fetches a document from the origin (or the parent proxy),

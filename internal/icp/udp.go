@@ -44,8 +44,10 @@ type Config struct {
 	// (0: DefaultSendQueue). SendAsync enqueues loss-tolerant traffic
 	// (directory updates) here; a dedicated sender goroutine drains the
 	// ring in batches, so a burst of updates never blocks the caller on
-	// per-datagram syscalls. When the ring is full, SendAsync falls back
-	// to a synchronous in-line send rather than dropping.
+	// per-datagram syscalls. When the ring is full, SendAsync blocks for
+	// a slot (back-pressure) rather than dropping or sending in-line —
+	// in-line sends would reorder absolute flip records, leaving peer
+	// replicas stale.
 	SendQueue int
 	// DisableFlipCoalescing turns off per-peer DIRUPDATE flip coalescing
 	// in the publication path (the core layer consumes this knob): by
@@ -237,10 +239,14 @@ func (c *Conn) Send(to *net.UDPAddr, m Message) error {
 // SendAsync encodes m into a pooled buffer and queues it on the send ring;
 // the sender goroutine drains the ring in batches and returns the buffer.
 // Use it for loss-tolerant traffic (directory updates) where the caller
-// must not block on per-datagram syscalls — a full ring falls back to a
-// synchronous in-line send (which may overtake queued datagrams; DIRUPDATE
-// flips are absolute records, so reordering is safe by design). Transmit
-// errors on the asynchronous path surface only in the SendErrors counter.
+// usually must not block on per-datagram syscalls. When the ring is full
+// the call blocks until the drainer frees a slot (back-pressure) rather
+// than sending in-line: an in-line send would overtake datagrams already
+// queued, and DIRUPDATE flips are absolute records whose LAST write for a
+// bit must win — delivering an older record after a newer one leaves the
+// receiver's replica permanently stale. FIFO order through the ring is
+// therefore a correctness property, not an optimization. Transmit errors
+// on the asynchronous path surface only in the SendErrors counter.
 func (c *Conn) SendAsync(to *net.UDPAddr, m Message) error {
 	bp := getBuf()
 	buf, err := m.Append(*bp)
@@ -262,11 +268,16 @@ func (c *Conn) SendAsync(to *net.UDPAddr, m Message) error {
 	default:
 	}
 	c.mu.Unlock()
-	// Ring full: the mesh is sending faster than the socket drains.
-	// Degrade to the synchronous path instead of dropping locally.
-	err = c.write(to, bp)
-	putBuf(bp)
-	return err
+	// Ring full: the mesh is publishing faster than the socket drains.
+	// Block for a slot so the datagram keeps its place in the sequence;
+	// sendStop unblocks the wait if the endpoint closes underneath us.
+	select {
+	case c.sendQ <- outgoing{to: to, buf: bp}:
+		return nil
+	case <-c.sendStop:
+		putBuf(bp)
+		return ErrClosed
+	}
 }
 
 // write transmits one encoded datagram and maintains the counters.

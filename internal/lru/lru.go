@@ -511,6 +511,73 @@ func (c *Cache) Entries() []Entry {
 	return out
 }
 
+// Restore bulk-loads entries captured by Entries on a previous run,
+// given most-recently-used first — the warm-restart boot path. It fires
+// no callbacks (recovery reconciles the directory itself) and never
+// evicts: when the snapshot does not fit the current geometry (capacity,
+// shard count or object-size limit changed since it was taken), the
+// least recently used entries are the ones dropped, and their keys are
+// returned so the caller can reconcile the restored directory. Keys
+// already present are left untouched and count as stored.
+func (c *Cache) Restore(entries []Entry) (stored int, dropped []string) {
+	// Admission pass, MRU first so recency wins budget contention: plan
+	// per-shard byte usage without mutating anything.
+	planned := make([]int64, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		planned[i] = s.bytes
+		s.mu.Unlock()
+	}
+	shardIdx := func(key string) int {
+		if c.mask == 0 {
+			return 0
+		}
+		return int(maphash.String(c.seed, key) & c.mask)
+	}
+	accepted := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		i := shardIdx(e.Key)
+		if !c.Cacheable(e.Size) || planned[i]+e.Size > c.shards[i].capacity {
+			dropped = append(dropped, e.Key)
+			continue
+		}
+		planned[i] += e.Size
+		accepted = append(accepted, e)
+	}
+	// Insertion pass, LRU first: each PushFront with a fresh stamp lands
+	// the entry above its older siblings, reproducing both the per-shard
+	// list order and the merged global recency order.
+	for i := len(accepted) - 1; i >= 0; i-- {
+		e := accepted[i]
+		s := &c.shards[shardIdx(e.Key)]
+		if !s.mu.TryLock() {
+			s.lockSlow()
+		}
+		if _, ok := s.items[e.Key]; ok {
+			s.mu.Unlock()
+			stored++ // already cached: present is what Restore promises
+			continue
+		}
+		if s.bytes+e.Size > s.capacity {
+			// A concurrent writer consumed the planned budget; shed the
+			// entry rather than evicting what it stored.
+			s.mu.Unlock()
+			dropped = append(dropped, e.Key)
+			continue
+		}
+		s.bytes += e.Size
+		nd := &node{e: e}
+		if c.mask != 0 {
+			nd.stamp = c.tick()
+		}
+		s.items[e.Key] = s.ll.PushFront(nd)
+		s.mu.Unlock()
+		stored++
+	}
+	return stored, dropped
+}
+
 // Stats returns lifetime (hits, misses) counted by Get.
 func (c *Cache) Stats() (hits, misses uint64) {
 	for i := range c.shards {

@@ -68,6 +68,9 @@ td.l,th.l{text-align:left}
 		localRow("update events / messages", fmt.Sprintf("%d / %d", r.Local.UpdateEvents, r.Local.UpdatesSent))
 		localRow("advert bytes full / delta", fmt.Sprintf("%d / %d", r.Local.FullBytesOut, r.Local.DeltaBytesOut))
 		localRow("cache entries / bytes", fmt.Sprintf("%d / %d", r.Local.CacheEntries, r.Local.CacheBytes))
+		if r.Local.Recoveries > 0 {
+			localRow("warm recoveries / entries", fmt.Sprintf("%d / %d", r.Local.Recoveries, r.Local.RecoveredEntries))
+		}
 		fmt.Fprint(w, "</table>\n")
 
 		fmt.Fprint(w, `<table><tr><th class="l">peer</th><th>up</th><th>breaker</th><th>gen</th><th>update age</th><th>fill</th><th>est FPR</th><th>bits</th><th>upd full/delta</th><th>bytes in</th><th>sent</th><th>bytes out</th><th>nom</th><th>rhit</th><th>fhit</th><th>fmiss</th><th>stale</th><th>divergence</th></tr>`)

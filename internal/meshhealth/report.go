@@ -40,6 +40,11 @@ type LocalReport struct {
 	// directory.
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
+	// Recoveries counts warm restarts this node recovered persisted state
+	// on; RecoveredEntries is the document count the most recent recovery
+	// reinstalled (both zero when persistence is off).
+	Recoveries       uint64 `json:"recoveries"`
+	RecoveredEntries int    `json:"recovered_entries"`
 }
 
 // PeerReport is one peer row of the mesh table: replica health, breaker
