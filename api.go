@@ -758,15 +758,21 @@ func LatestBenchFile(dir string, exclude ...string) (string, error) {
 type LintFinding = analysis.Finding
 
 // The analyzer's rule names, for -rules style filtering and for matching
-// LintFinding.Rule. LintRuleLintDirective is the implicit sixth rule that
-// flags malformed //lint:ignore directives.
+// LintFinding.Rule. LintRuleLintDirective is the implicit rule that
+// flags malformed //lint:ignore directives. The last three are the
+// concurrency-safety suite built on the cross-package summary layer:
+// lock-order cycles, goroutines without a shutdown path, and decoder
+// borrows escaping their handler.
 const (
-	LintRuleAtomicMixing   = analysis.RuleAtomicMixing
-	LintRuleDeterminism    = analysis.RuleDeterminism
-	LintRuleStatsDrift     = analysis.RuleStatsDrift
-	LintRuleUncheckedClose = analysis.RuleUncheckedClose
-	LintRuleStrayPrinting  = analysis.RuleStrayPrinting
-	LintRuleLintDirective  = analysis.RuleLintDirective
+	LintRuleAtomicMixing       = analysis.RuleAtomicMixing
+	LintRuleDeterminism        = analysis.RuleDeterminism
+	LintRuleStatsDrift         = analysis.RuleStatsDrift
+	LintRuleUncheckedClose     = analysis.RuleUncheckedClose
+	LintRuleStrayPrinting      = analysis.RuleStrayPrinting
+	LintRuleLintDirective      = analysis.RuleLintDirective
+	LintRuleLockOrder          = analysis.RuleLockOrder
+	LintRuleGoroutineLifecycle = analysis.RuleGoroutineLifecycle
+	LintRuleBorrowEscape       = analysis.RuleBorrowEscape
 )
 
 // LintPackages loads every non-test package under dir (a module root or

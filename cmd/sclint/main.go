@@ -1,7 +1,9 @@
 // Command sclint runs the repository's project-specific static analysis
 // suite (internal/analysis) over the module: invariants go vet cannot
 // see — atomic-mixing, replay determinism, Stats()/scrape drift,
-// discarded Close errors and stray printing in library code.
+// discarded Close errors, stray printing in library code, lock-order
+// cycles across the call graph, goroutines without a shutdown path, and
+// decoder borrows escaping their handler (see internal/analysis).
 //
 // Usage:
 //
@@ -18,11 +20,17 @@
 // reason, on the offending line or the line directly above:
 //
 //	//lint:ignore sclint/<rule> <why this site is intentional>
+//
+// Declare an intentional lock hierarchy (consumed by lock-order) at
+// package scope:
+//
+//	//lint:lockorder pkg.Type.fieldA < pkg.Type.fieldB <why A precedes B>
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,21 +39,32 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	ruleList := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	list := flag.Bool("list", false, "print the rule catalog and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sclint [-json] [-rules r1,r2] [-list] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam: flag parsing, rule
+// selection, loading, and rendering, returning the process exit code
+// (0 clean, 1 findings, 2 usage or load failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	ruleList := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "print the rule catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sclint [-json] [-rules r1,r2] [-list] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	rules := analysis.Rules()
 	if *list {
 		for _, r := range rules {
-			fmt.Printf("%-16s %s\n", r.Name(), r.Doc())
+			fmt.Fprintf(stdout, "%-20s %s\n", r.Name(), r.Doc())
 		}
-		return
+		return 0
 	}
 	if *ruleList != "" {
 		want := map[string]bool{}
@@ -60,37 +79,38 @@ func main() {
 			}
 		}
 		for name := range want {
-			fmt.Fprintf(os.Stderr, "sclint: unknown rule %q (see -list)\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "sclint: unknown rule %q (see -list)\n", name)
+			return 2
 		}
 		rules = sel
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sclint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sclint: %v\n", err)
+		return 2
 	}
 	u, err := analysis.Load(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sclint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sclint: %v\n", err)
+		return 2
 	}
 	findings := analysis.Run(u, rules)
-	findings = filterByArgs(findings, flag.Args())
+	findings = filterByArgs(findings, fs.Args())
 
 	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
-			fmt.Fprintf(os.Stderr, "sclint: %v\n", err)
-			os.Exit(2)
+		if err := analysis.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "sclint: %v\n", err)
+			return 2
 		}
 	} else {
-		analysis.WritePlain(os.Stdout, findings)
+		analysis.WritePlain(stdout, findings)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "sclint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sclint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.

@@ -14,11 +14,14 @@ import (
 // Canonical rule names, exported so callers (cmd/sclint, the public
 // facade) and suppression directives refer to one spelling.
 const (
-	RuleAtomicMixing   = "atomic-mixing"
-	RuleDeterminism    = "determinism"
-	RuleStatsDrift     = "stats-drift"
-	RuleUncheckedClose = "unchecked-close"
-	RuleStrayPrinting  = "stray-printing"
+	RuleAtomicMixing       = "atomic-mixing"
+	RuleDeterminism        = "determinism"
+	RuleStatsDrift         = "stats-drift"
+	RuleUncheckedClose     = "unchecked-close"
+	RuleStrayPrinting      = "stray-printing"
+	RuleLockOrder          = "lock-order"
+	RuleGoroutineLifecycle = "goroutine-lifecycle"
+	RuleBorrowEscape       = "borrow-escape"
 	// RuleLintDirective is the analyzer's own hygiene rule: a
 	// //lint:ignore directive without a reason neither suppresses nor
 	// passes silently.
@@ -59,6 +62,9 @@ func Rules() []Rule {
 		&statsDriftRule{},
 		&uncheckedCloseRule{},
 		&strayPrintingRule{},
+		&lockOrderRule{},
+		&goroutineLifecycleRule{},
+		&borrowEscapeRule{},
 	}
 }
 

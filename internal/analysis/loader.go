@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -29,6 +30,10 @@ type Package struct {
 	// SoftErrors are type-checker complaints tolerated during loading
 	// (the rules still run on everything that resolved).
 	SoftErrors []error
+	// Universe links back to the run this package was loaded into, so
+	// whole-program rules (lock-order, goroutine-lifecycle, borrow-escape)
+	// can reach the shared call-graph summaries from a per-package Check.
+	Universe *Universe
 }
 
 // IsMain reports whether this is a main package (cmd/, examples/) —
@@ -40,6 +45,8 @@ type Universe struct {
 	Root string // filesystem root; finding paths are relative to it
 	Fset *token.FileSet
 	Pkgs []*Package // dependency (topological) order
+
+	sums *summaries // lazily built per-function summary layer
 }
 
 // skipDir reports directories never descended into: VCS and tool state,
@@ -98,6 +105,13 @@ func Load(root string) (*Universe, error) {
 			return nil
 		}
 		dir := filepath.Dir(path)
+		// Respect build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) so a package carrying an excluded file — a build-tagged
+		// syscall layer, a wasm stub — still loads and type-checks cleanly
+		// from the files that are actually part of this configuration.
+		if match, err := build.Default.MatchFile(dir, d.Name()); err != nil || !match {
+			return nil
+		}
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return err
@@ -212,6 +226,7 @@ func Load(root string) (*Universe, error) {
 		}
 		rp.pkg.Types = tpkg
 		rp.pkg.Info = info
+		rp.pkg.Universe = u
 		checked[ip] = tpkg
 		u.Pkgs = append(u.Pkgs, rp.pkg)
 	}

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSkipsBuildTagExcludedFiles loads a package whose directory holds a
+// file gated behind an impossible build tag. That file references an
+// undeclared identifier, so the test passes only if the loader filters it out
+// before type-checking instead of folding it into the package.
+func TestLoadSkipsBuildTagExcludedFiles(t *testing.T) {
+	u, err := Load(filepath.Join("testdata", "buildtag"))
+	if err != nil {
+		t.Fatalf("Load(testdata/buildtag): %v", err)
+	}
+	if len(u.Pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(u.Pkgs))
+	}
+	pkg := u.Pkgs[0]
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (excluded.go should be dropped by its build constraint)", len(pkg.Files))
+	}
+	if name := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename); name != "keep.go" {
+		t.Fatalf("kept file = %s, want keep.go", name)
+	}
+	for _, e := range pkg.SoftErrors {
+		t.Errorf("unexpected type error: %v", e)
+	}
+	if scope := pkg.Types.Scope(); scope.Lookup("Kept") == nil || scope.Lookup("Broken") != nil {
+		t.Fatalf("package scope wrong: Kept present=%v Broken present=%v",
+			scope.Lookup("Kept") != nil, scope.Lookup("Broken") != nil)
+	}
+}

@@ -11,10 +11,11 @@ import (
 // replay must make bit-identical decisions. Three nondeterminism leaks
 // are flagged inside those packages:
 //
-//   - time.Now — wall-clock reads differ between runs; replay code takes
-//     timestamps from the scenario, and genuine wall-clock measurement
-//     (benchmark throughput timing) carries a //lint:ignore with a
-//     reason;
+//   - time.Now, time.Since and time.Until — wall-clock reads differ
+//     between runs (Since/Until are just Now in disguise); replay code
+//     takes timestamps from the scenario, and genuine wall-clock
+//     measurement (benchmark throughput timing) carries a //lint:ignore
+//     with a reason;
 //   - math/rand and math/rand/v2 package-level generator functions
 //     (rand.Intn, rand.Float64, rand.Shuffle, ...) — the global
 //     generator is shared, unseeded state; constructors (rand.New,
@@ -66,9 +67,14 @@ func (r determinismRule) Check(pkg *Package, report ReportFunc) {
 				}
 				switch fn.Pkg().Path() {
 				case "time":
-					if fn.Name() == "Now" {
+					switch fn.Name() {
+					case "Now":
 						report(n.Pos(),
 							"time.Now in a replay path; derive timestamps from the seeded scenario (suppress for wall-clock measurement)")
+					case "Since", "Until":
+						report(n.Pos(),
+							"time.%s reads the wall clock in a replay path; derive durations from the seeded scenario (suppress for wall-clock measurement)",
+							fn.Name())
 					}
 				case "math/rand", "math/rand/v2":
 					if !randConstructor(fn.Name()) {

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// goroutineLifecycleRule demands that every goroutine spawned from
+// library (non-main) code can actually exit. The leak it targets is the
+// loop with no way out: `for { ... }` whose body has no return, no
+// break binding to it, and no terminating call — including the classic
+// near-miss `for { select { case <-stop: break } }`, where the break
+// binds to the select and the loop spins forever. The check follows the
+// static call graph, so `go c.readLoop()` is judged by readLoop's body
+// (and by what readLoop unconditionally calls), not just by the go
+// statement's own literal.
+//
+// A loop that exits on a closed channel, a done/stop select case, an
+// error return from a blocking read (the closed-conn idiom), or a
+// bounded condition all pass; main packages are exempt — the process
+// exit is their shutdown path.
+type goroutineLifecycleRule struct {
+	u      *Universe
+	perPkg map[*Package][]pendingFinding
+}
+
+func (r *goroutineLifecycleRule) Name() string { return RuleGoroutineLifecycle }
+
+func (r *goroutineLifecycleRule) Doc() string {
+	return "goroutines spawned from library code must have a reachable shutdown path (no unconditional loop without an exit)"
+}
+
+func (r *goroutineLifecycleRule) Check(pkg *Package, report ReportFunc) {
+	if pkg.Universe == nil {
+		return
+	}
+	if r.u != pkg.Universe {
+		r.analyze(pkg.Universe)
+		r.u = pkg.Universe
+	}
+	for _, f := range r.perPkg[pkg] {
+		report(f.pos, "%s", f.msg)
+	}
+}
+
+func (r *goroutineLifecycleRule) analyze(u *Universe) {
+	r.perPkg = map[*Package][]pendingFinding{}
+	s := u.summaries()
+	for _, site := range s.goStmts {
+		pkg, stmt := site.pkg, site.stmt
+		var (
+			name  string
+			pos   token.Pos
+			chain []string
+		)
+		switch fun := ast.Unparen(stmt.Call.Fun).(type) {
+		case *ast.FuncLit:
+			fi := s.lits[fun]
+			if fi == nil {
+				continue
+			}
+			name = "this goroutine"
+			pos, chain = s.foreverOf(fi)
+		default:
+			fn, ok := calleeOf(pkg, stmt.Call).(*types.Func)
+			if !ok {
+				continue // func-typed values and interface methods resolve dynamically
+			}
+			name = funcName(fn)
+			pos, chain = s.loopsForever(fn)
+		}
+		if pos == token.NoPos {
+			continue
+		}
+		p := u.Fset.Position(pos)
+		where := fmt.Sprintf("%s:%d", filepathBase(p.Filename), p.Line)
+		msg := fmt.Sprintf(
+			"goroutine has no shutdown path: %s loops forever at %s (no return, binding break, or terminating call); select on a stop channel or let a closed conn's error end the loop",
+			name, where)
+		if len(chain) > 0 {
+			msg = fmt.Sprintf(
+				"goroutine has no shutdown path: %s reaches %s, which loops forever at %s (no return, binding break, or terminating call); select on a stop channel or let a closed conn's error end the loop",
+				name, strings.Join(chain, " -> "), where)
+		}
+		r.perPkg[pkg] = append(r.perPkg[pkg], pendingFinding{pos: stmt.Pos(), msg: msg})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build neverenabled
+
+// excluded.go must be dropped by the loader's build-constraint match: it
+// references an undeclared identifier, so type-checking it alongside keep.go
+// would fail the whole package.
+package buildtag
+
+func Broken() int { return doesNotExist }

@@ -1,0 +1,8 @@
+// Package buildtag exercises the loader's build-constraint filtering: the
+// sibling excluded.go is gated behind a tag that is never set and references
+// an identifier that does not exist, so including it would produce a type
+// error. The loader must skip it and type-check this file alone.
+package buildtag
+
+// Kept is the only declaration the loader should see in this package.
+func Kept() int { return 1 }

@@ -1,0 +1,52 @@
+// Package icp mirrors the module's ICP wire layer just enough for the
+// borrow-escape fixtures: a value Message borrowing decoder-owned state
+// (Update and its Flips), a Clone that deep-copies it, a Handler
+// callback type and a Decoder whose Decode hands out the borrow.
+package icp
+
+import "net"
+
+// Flip is a plain value; copying one carries no borrow.
+type Flip struct{ Word, Mask uint64 }
+
+// DirUpdate is decoder scratch: Flips aliases the decode buffer.
+type DirUpdate struct {
+	Bits  uint32
+	Flips []Flip
+}
+
+// Message is passed to handlers by value; URL is owned, Update is
+// borrowed until the handler returns.
+type Message struct {
+	URL    string
+	Update *DirUpdate
+}
+
+// Clone deep-copies the borrowed parts.
+func (m Message) Clone() Message {
+	c := m
+	if m.Update != nil {
+		u := *m.Update
+		u.Flips = append([]Flip(nil), m.Update.Flips...)
+		c.Update = &u
+	}
+	return c
+}
+
+// Handler receives a borrowed Message, valid only for the call.
+type Handler func(from *net.UDPAddr, m Message)
+
+// Decoder decodes frames into reusable scratch.
+type Decoder struct {
+	scratch Message
+	flips   []Flip
+	update  DirUpdate
+}
+
+// Decode returns a Message borrowing d's scratch until the next Decode.
+func (d *Decoder) Decode(b []byte) (Message, error) {
+	d.flips = append(d.flips[:0], Flip{Word: uint64(len(b))})
+	d.update = DirUpdate{Bits: 1, Flips: d.flips}
+	d.scratch = Message{URL: string(b), Update: &d.update}
+	return d.scratch, nil
+}

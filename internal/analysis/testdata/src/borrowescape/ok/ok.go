@@ -1,0 +1,49 @@
+// Package ok consumes borrowed messages within the contract: clone
+// before keeping, copy scalars and owned strings, copy flip values,
+// and read-only callees.
+package ok
+
+import (
+	"net"
+
+	"borrowescape/internal/icp"
+)
+
+type consumer struct {
+	last  icp.Message
+	url   string
+	bits  uint32
+	flips []icp.Flip
+	total uint64
+}
+
+// Handle is registered as an icp.Handler below: everything it keeps is
+// cloned or copied by value.
+func (c *consumer) Handle(from *net.UDPAddr, m icp.Message) {
+	c.last = m.Clone() // Clone launders the borrow
+	c.url = m.URL      // URL strings are owned by contract
+	if m.Update != nil {
+		c.bits = m.Update.Bits                           // scalar copy
+		c.flips = append(c.flips[:0], m.Update.Flips...) // flip values copied out
+		apply(c, m.Update)                               // callee only reads
+	}
+	local := m // a local carrier that dies with the call
+	_ = local
+}
+
+// apply reads the update without retaining anything borrow-carrying.
+func apply(c *consumer, u *icp.DirUpdate) {
+	for _, f := range u.Flips {
+		c.total += f.Word
+	}
+}
+
+var _ icp.Handler = (*consumer)(nil).Handle
+
+// reencode clones a decoded message before handing it on.
+var republish chan icp.Message
+
+func reencode(d *icp.Decoder, frame []byte) {
+	m, _ := d.Decode(frame)
+	republish <- m.Clone()
+}

@@ -1,0 +1,45 @@
+// Package pos leaks borrowed messages every way the rule catches:
+// stores through the receiver, package state, channel sends, goroutine
+// hand-offs and captures, retaining callees, and a freshly decoded
+// message kept past the decode window.
+package pos
+
+import (
+	"net"
+
+	"borrowescape/internal/icp"
+)
+
+var lastUpdate *icp.DirUpdate
+
+type recorder struct {
+	last icp.Message
+	ch   chan icp.Message
+}
+
+// Handle is registered as an icp.Handler below, so m is borrowed.
+func (r *recorder) Handle(from *net.UDPAddr, m icp.Message) {
+	r.last = m            // want borrow-escape: field store through the receiver
+	lastUpdate = m.Update // want borrow-escape: package-variable store
+	r.ch <- m             // want borrow-escape: channel send
+	go inspect(m)         // want borrow-escape: goroutine argument
+	go func() {           // want borrow-escape: goroutine capture
+		inspect(m)
+	}()
+	stash(m.Update) // want borrow-escape: callee retains its argument
+}
+
+func inspect(m icp.Message) {}
+
+// stash retains its argument; the escape summary catches callers.
+func stash(u *icp.DirUpdate) { lastUpdate = u }
+
+var _ icp.Handler = (*recorder)(nil).Handle
+
+var keep icp.Message
+
+// keepDecoded stores a freshly decoded message without Clone.
+func keepDecoded(d *icp.Decoder, frame []byte) {
+	m, _ := d.Decode(frame)
+	keep = m // want borrow-escape: decode result stored in package state
+}

@@ -26,3 +26,11 @@ func seeded(seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	return rng.Intn(10)
 }
+
+// elapsed reads the wall clock twice more: Since and Until are Now in
+// disguise.
+func elapsed(start time.Time) time.Duration {
+	d := time.Since(start) // want determinism: wall-clock Since
+	d += time.Until(start) // want determinism: wall-clock Until
+	return d
+}

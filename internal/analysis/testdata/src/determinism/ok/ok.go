@@ -9,6 +9,8 @@ import (
 
 func wall() int64 { return time.Now().UnixNano() }
 
+func sinceBoot(t time.Time) time.Duration { return time.Since(t) }
+
 func roll() int { return rand.Intn(6) }
 
 func keys(m map[string]int) int {

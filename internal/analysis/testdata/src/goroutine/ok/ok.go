@@ -1,0 +1,72 @@
+// Package ok spawns goroutines that all have a reachable shutdown
+// path: stop-channel selects, labeled breaks, closed-channel ranges,
+// bounded conditions and the closed-conn error-return idiom.
+package ok
+
+import "sync"
+
+var n int
+
+func work() { n++ }
+
+type pump struct {
+	stop chan struct{}
+	in   chan int
+	wg   sync.WaitGroup
+}
+
+func (p *pump) Start() {
+	// Stop-channel select: the case returns.
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case v := <-p.in:
+				n += v
+			}
+		}
+	}()
+	// A labeled break exits the outer loop.
+	go func() {
+	drain:
+		for {
+			select {
+			case <-p.stop:
+				break drain
+			case v := <-p.in:
+				n += v
+			}
+		}
+	}()
+	// Ranging a channel ends when the channel closes.
+	go func() {
+		for v := range p.in {
+			n += v
+		}
+	}()
+	// Condition loops are bounded by their condition.
+	go func() {
+		for i := 0; i < 64; i++ {
+			work()
+		}
+	}()
+	// The closed-conn idiom: a receive failure returns.
+	go p.read()
+	p.wg.Add(1)
+	// Bounded work, announced through a WaitGroup.
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func (p *pump) read() {
+	for {
+		v, ok := <-p.in
+		if !ok {
+			return
+		}
+		n += v
+	}
+}

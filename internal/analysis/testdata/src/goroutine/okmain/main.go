@@ -1,0 +1,12 @@
+// Binaries are exempt: process exit is their shutdown path.
+package main
+
+func spin() {
+	for {
+	}
+}
+
+func main() {
+	go spin()
+	select {}
+}

@@ -1,0 +1,47 @@
+// Package pos spawns goroutines with no way to exit: unconditional
+// loops without a binding break or return, reached directly, through a
+// literal, or through the call graph — plus the classic near-miss where
+// break binds to the select instead of the loop.
+package pos
+
+var n int
+
+func work() { n++ }
+
+// spin loops with no exit path.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// run reaches spin through a call.
+func run() { spin() }
+
+type pump struct {
+	stop chan struct{}
+	in   chan int
+}
+
+func (p *pump) Start() {
+	go spin()   // want goroutine-lifecycle: named callee loops forever
+	go run()    // want goroutine-lifecycle: forever via call chain
+	go func() { // want goroutine-lifecycle: literal loops forever
+		for {
+			work()
+		}
+	}()
+	go func() { // want goroutine-lifecycle: break binds to the select
+		for {
+			select {
+			case <-p.stop:
+				break
+			case v := <-p.in:
+				n += v
+			}
+		}
+	}()
+	go func() { // want goroutine-lifecycle: select{} blocks forever
+		select {}
+	}()
+}

@@ -1,0 +1,60 @@
+// Package ok holds the sanctioned lock shapes: one global order,
+// TryLock fast paths, per-iteration critical sections and a declared
+// same-class instance order.
+package ok
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+type clock struct{ mu sync.Mutex }
+
+// Every path takes shard before clock — a DAG, nothing to report.
+func evict(s *shard, c *clock) {
+	s.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func evictViaCall(s *shard, c *clock) {
+	s.mu.Lock()
+	tick(c)
+	s.mu.Unlock()
+}
+
+func tick(c *clock) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// A failed TryLock cannot deadlock: the reverse-order fast path is
+// exempt by construction.
+func fastPath(s *shard, c *clock) {
+	c.mu.Lock()
+	if s.mu.TryLock() {
+		s.mu.Unlock()
+	}
+	c.mu.Unlock()
+}
+
+// Balanced per-iteration critical sections are not a self-edge.
+func sweep(shards []*shard) {
+	for _, s := range shards {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+//lint:lockorder ok.pair.mu < ok.pair.mu pairs are always locked in ascending index order
+
+type pair struct{ mu sync.Mutex }
+
+// swap nests two pair locks; the declaration above sanctions the
+// canonical instance order.
+func swap(lo, hi *pair) {
+	lo.mu.Lock()
+	hi.mu.Lock()
+	hi.mu.Unlock()
+	lo.mu.Unlock()
+}

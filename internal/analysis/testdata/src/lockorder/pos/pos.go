@@ -1,0 +1,90 @@
+// Package pos exercises every lock-order failure shape: a two-lock
+// cycle, a cycle closed through a call, a same-class self-edge, a
+// violation of a declared hierarchy and a malformed declaration.
+package pos
+
+import "sync"
+
+type tableA struct{ mu sync.Mutex }
+
+type tableB struct{ mu sync.Mutex }
+
+// ab and ba acquire the two classes in opposite orders: a cycle, with
+// one finding at each closing acquisition.
+func ab(a *tableA, b *tableB) {
+	a.mu.Lock()
+	b.mu.Lock() // want lock-order: cycle
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *tableA, b *tableB) {
+	b.mu.Lock()
+	a.mu.Lock() // want lock-order: cycle
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type ringC struct{ mu sync.Mutex }
+
+type ringD struct{ mu sync.Mutex }
+
+func lockD(d *ringD) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// cThenD closes the C→D edge through a call into lockD; dThenC holds D
+// while taking C directly — a cycle only the call graph can see.
+func cThenD(c *ringC, d *ringD) {
+	c.mu.Lock()
+	lockD(d) // want lock-order: cycle via call
+	c.mu.Unlock()
+}
+
+func dThenC(c *ringC, d *ringD) {
+	d.mu.Lock()
+	c.mu.Lock() // want lock-order: cycle
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type striped struct{ stripes [4]stripe }
+
+type stripe struct{ mu sync.Mutex }
+
+// resetAll locks every stripe and only then releases them: iteration
+// N+1's Lock runs with iteration N's still held — a same-class
+// self-edge, unsanctioned in this package.
+func (s *striped) resetAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock() // want lock-order: self-edge
+	}
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+type front struct{ mu sync.Mutex }
+
+type back struct{ mu sync.Mutex }
+
+//lint:lockorder pos.front.mu < pos.back.mu the request path owns front and always takes it first
+
+// frontThenBack follows the declared hierarchy: silent.
+func frontThenBack(f *front, b *back) {
+	f.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// backThenFront contradicts it: reported as a violation, not a cycle.
+func backThenFront(f *front, b *back) {
+	b.mu.Lock()
+	f.mu.Lock() // want lock-order: violates declared hierarchy
+	f.mu.Unlock()
+	b.mu.Unlock()
+}
+
+//lint:lockorder pos.front.mu pos.back.mu missing the < separator

@@ -169,6 +169,7 @@ func measureOnce(workers int, d time.Duration, op func(worker, i int)) MicroMeas
 					//lint:ignore sclint/determinism sampled op latency is the measurement itself
 					t0 := time.Now()
 					op(w, i)
+					//lint:ignore sclint/determinism sampled op latency is the measurement itself
 					samples[w] = append(samples[w], time.Since(t0))
 				} else {
 					op(w, i)
@@ -179,6 +180,7 @@ func measureOnce(workers int, d time.Duration, op func(worker, i int)) MicroMeas
 		}(w)
 	}
 	wg.Wait()
+	//lint:ignore sclint/determinism wall-clock throughput is the benchmark's measured output
 	wall := time.Since(start)
 
 	var m MicroMeasurement

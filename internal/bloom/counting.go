@@ -64,6 +64,12 @@ type CountingFilter struct {
 }
 
 // cfStripe is one lock stripe plus its segment of the flip journal.
+//
+// Whole-filter operations (Reset, RestoreState) hold every stripe lock at
+// once; they always acquire in ascending index order, so nested same-class
+// acquisition cannot deadlock.
+//
+//lint:lockorder bloom.cfStripe.mu < bloom.cfStripe.mu stripes are always locked in ascending index order
 type cfStripe struct {
 	mu      sync.Mutex
 	journal []Flip

@@ -14,6 +14,7 @@ import (
 	"summarycache/internal/faultnet"
 	"summarycache/internal/origin"
 	"summarycache/internal/persist"
+	"summarycache/internal/testutil/leakcheck"
 )
 
 // TestChaosWarmRestartSCICP is the warm-restart soak: a 2-proxy SC-ICP
@@ -26,6 +27,7 @@ import (
 // both directions after re-peering — all with zero client-visible
 // errors.
 func TestChaosWarmRestartSCICP(t *testing.T) {
+	leakcheck.Install(t)
 	org, err := origin.Start(origin.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -199,6 +201,7 @@ func TestChaosWarmRestartSCICP(t *testing.T) {
 // replaying a single journal record beyond the overlap window — and a
 // second boot generation after that still works (generation chaining).
 func TestChaosWarmRestartCleanShutdown(t *testing.T) {
+	leakcheck.Install(t)
 	org, err := origin.Start(origin.Config{})
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 	"summarycache/internal/core"
 	"summarycache/internal/faultnet"
 	"summarycache/internal/origin"
+	"summarycache/internal/testutil/leakcheck"
 )
 
 // chaosScenario is the soak's fault schedule: 15% UDP loss each way plus
@@ -48,6 +49,7 @@ func chaosScenario() faultnet.Scenario {
 // (b) reconverge every summary replica to the peer's authoritative filter
 // once the faults clear.
 func TestChaosSoakSCICP(t *testing.T) {
+	leakcheck.Install(t)
 	org, err := origin.Start(origin.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -176,6 +178,7 @@ func TestChaosSoakSCICP(t *testing.T) {
 // injector behaves identically to one with none — no faults fire and no
 // counters move (the nil/disabled paths the bench passthrough relies on).
 func TestChaosDisabledInjectorIsInert(t *testing.T) {
+	leakcheck.Install(t)
 	org, err := origin.Start(origin.Config{})
 	if err != nil {
 		t.Fatal(err)

@@ -487,6 +487,7 @@ func (c *Conn) readLoop() {
 			c.mu.Unlock()
 			if ch != nil {
 				select {
+				//lint:ignore sclint/borrow-escape reply opcodes carry no DirUpdate; only the owned URL string crosses, never decoder scratch
 				case ch <- reply{m: m, from: from}:
 				default:
 				}

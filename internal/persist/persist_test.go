@@ -9,6 +9,7 @@ import (
 	"summarycache/internal/core"
 	"summarycache/internal/hashing"
 	"summarycache/internal/lru"
+	"summarycache/internal/testutil/leakcheck"
 )
 
 func entry(i int) lru.Entry {
@@ -43,6 +44,7 @@ func mustRecover(t *testing.T, s *Store) *Recovered {
 // entries (bodies, versions, MRU order), the directory blob, and the
 // replica set.
 func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	leakcheck.Install(t)
 	dir := t.TempDir()
 	s := openStore(t, dir)
 	if rec := mustRecover(t, s); rec.Stats.Recovered {
@@ -111,6 +113,7 @@ func TestCheckpointRecoverRoundTrip(t *testing.T) {
 // TestRecoverTornJournalTail: truncating the journal mid-record keeps
 // every record before the tear and flags TornTail.
 func TestRecoverTornJournalTail(t *testing.T) {
+	leakcheck.Install(t)
 	dir := t.TempDir()
 	s := openStore(t, dir)
 	mustRecover(t, s)
@@ -149,6 +152,7 @@ func TestRecoverTornJournalTail(t *testing.T) {
 // rejected whole; recovery falls back one generation and replays BOTH
 // journals (the old generation's and the newer one's).
 func TestRecoverCorruptSnapshotFallsBack(t *testing.T) {
+	leakcheck.Install(t)
 	dir := t.TempDir()
 	s := openStore(t, dir)
 	mustRecover(t, s)
@@ -197,6 +201,7 @@ func TestRecoverCorruptSnapshotFallsBack(t *testing.T) {
 // no-op — same entries, and a doubled eviction surfaces as DoubleEvicts,
 // not a lost document.
 func TestRecoverOverlapWindowIdempotent(t *testing.T) {
+	leakcheck.Install(t)
 	dir := t.TempDir()
 	s := openStore(t, dir)
 	mustRecover(t, s)
